@@ -1,0 +1,36 @@
+"""E01 -- Fig 3.1: micro-operations per instruction, per benchmark.
+
+Paper shape: ratios between ~1.07 (lbm) and ~1.38 (GemsFDTD); the spread
+motivates counting work in uops rather than instructions (§3.2).
+"""
+
+from conftest import SHORT_TRACE_LENGTH, get_trace, write_table
+
+from repro.workloads import workload_names
+
+
+def compute_ratios():
+    return {
+        name: get_trace(name, SHORT_TRACE_LENGTH).stats()
+        .uops_per_instruction
+        for name in workload_names()
+    }
+
+
+def test_fig3_1_uops_per_instruction(benchmark):
+    ratios = benchmark.pedantic(compute_ratios, rounds=1, iterations=1)
+
+    lines = ["E01 / Fig 3.1 -- micro-operations per instruction",
+             f"{'benchmark':<14s} uops/instr"]
+    for name, ratio in sorted(ratios.items()):
+        lines.append(f"{name:<14s} {ratio:10.3f}")
+    spread = max(ratios.values()) - min(ratios.values())
+    lines.append(f"{'min':<14s} {min(ratios.values()):10.3f}")
+    lines.append(f"{'max':<14s} {max(ratios.values()):10.3f}")
+    write_table("E01_fig3_1", lines)
+
+    # Shape assertions: every benchmark cracks to >= 1 uop/instruction,
+    # stays below 1.5, and the suite shows a meaningful spread as in the
+    # paper (lbm 1.07 vs GemsFDTD 1.38).
+    assert all(1.0 <= r <= 1.5 for r in ratios.values())
+    assert spread > 0.05

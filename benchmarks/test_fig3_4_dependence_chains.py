@@ -1,0 +1,44 @@
+"""E02 -- Fig 3.4: AP / ABP / CP dependence chain lengths at ROB 128.
+
+Paper shape: the three statistics differ per benchmark and in magnitude;
+CP is on average ~2.9x the AP; ABP ranges from shorter than AP to longer.
+"""
+
+from conftest import SHORT_TRACE_LENGTH, get_trace, write_table
+
+from repro.profiler.dependences import profile_dependence_chains
+from repro.workloads import workload_names
+
+
+def compute_chains():
+    rows = {}
+    for name in workload_names():
+        trace = get_trace(name, SHORT_TRACE_LENGTH)
+        chains = profile_dependence_chains(
+            trace.instructions[:4000], grid=(64, 128, 192)
+        )
+        rows[name] = (
+            chains.ap.at(128), chains.abp.at(128), chains.cp.at(128)
+        )
+    return rows
+
+
+def test_fig3_4_dependence_chains(benchmark):
+    rows = benchmark.pedantic(compute_chains, rounds=1, iterations=1)
+
+    lines = ["E02 / Fig 3.4 -- dependence chains at ROB=128",
+             f"{'benchmark':<14s} {'AP':>7s} {'ABP':>7s} {'CP':>7s}"]
+    for name, (ap, abp, cp) in sorted(rows.items()):
+        lines.append(f"{name:<14s} {ap:7.2f} {abp:7.2f} {cp:7.2f}")
+    mean_ap = sum(r[0] for r in rows.values()) / len(rows)
+    mean_cp = sum(r[2] for r in rows.values()) / len(rows)
+    lines.append(f"mean CP / mean AP ratio: {mean_cp / mean_ap:.2f}")
+    write_table("E02_fig3_4", lines)
+
+    # Shape: CP >= AP everywhere; CP clearly longer on average; the suite
+    # spans a range of chain depths (compute vs streaming kernels).
+    for name, (ap, abp, cp) in rows.items():
+        assert cp >= ap - 1e-9, name
+    assert mean_cp / mean_ap > 1.5
+    cps = [r[2] for r in rows.values()]
+    assert max(cps) / max(min(cps), 0.1) > 2.0

@@ -1,0 +1,52 @@
+"""E03 -- Fig 3.6: which factor limits the effective dispatch rate.
+
+Paper shape: most benchmarks are limited by functional ports or units
+(loads, divides); some by inter-instruction dependences (bwaves, mcf);
+a few reach the physical dispatch width (gobmk, sjeng, ...).
+"""
+
+from collections import Counter
+
+from conftest import get_profile, write_table
+
+from repro.core import nehalem
+from repro.core.dispatch import effective_dispatch_rate
+from repro.workloads import workload_names
+
+
+def compute_limits():
+    config = nehalem()
+    rows = {}
+    for name in workload_names():
+        profile = get_profile(name)
+        limits = effective_dispatch_rate(
+            profile.mix, profile.chains, config
+        )
+        rows[name] = limits
+    return rows
+
+
+def test_fig3_6_dispatch_limiters(benchmark):
+    rows = benchmark.pedantic(compute_limits, rounds=1, iterations=1)
+
+    lines = ["E03 / Fig 3.6 -- effective dispatch rate limiters",
+             f"{'benchmark':<14s} {'D':>6s} {'deps':>6s} {'port':>6s} "
+             f"{'unit':>6s}  binding"]
+    counts = Counter()
+    for name, limits in sorted(rows.items()):
+        binding = limits.limiter()
+        counts[binding] += 1
+        lines.append(
+            f"{name:<14s} {limits.dispatch_width:6.2f} "
+            f"{limits.dependences:6.2f} {limits.functional_ports:6.2f} "
+            f"{limits.functional_units:6.2f}  {binding}"
+        )
+    lines.append(f"binding-constraint histogram: {dict(counts)}")
+    write_table("E03_fig3_6", lines)
+
+    # Shape: the suite exercises more than one binding constraint, and
+    # port/unit contention binds for a meaningful share (the paper's
+    # dominant case).
+    assert len(counts) >= 2
+    contention = counts["functional_port"] + counts["functional_unit"]
+    assert contention >= len(rows) * 0.3

@@ -1,0 +1,68 @@
+"""E04 -- Fig 3.7: base-component error vs a miss-event-free processor.
+
+Paper shape: the prediction error of the base component falls as each
+refinement lands -- instructions/D (41.6%) -> uops/D (32.7%) -> + critical
+path (23.3%) -> + functional ports/units (11.7%).
+"""
+
+from conftest import SHORT_TRACE_LENGTH, get_profile, get_trace, write_table
+
+from repro.core import nehalem
+from repro.core.dispatch import effective_dispatch_rate
+from repro.simulator import simulate
+
+WORKLOADS = ["gcc", "gamess", "libquantum", "mcf", "gromacs", "gobmk",
+             "milc", "povray", "hmmer", "namd"]
+
+
+def base_cycle_variants(profile, config):
+    """Cycles predicted by each successive refinement of the base term."""
+    mix = profile.mix
+    limits = effective_dispatch_rate(mix, profile.chains, config)
+    dependence_rate = min(limits.dispatch_width, limits.dependences)
+    return {
+        "instructions/D": mix.num_instructions / config.dispatch_width,
+        "uops/D": mix.num_uops / config.dispatch_width,
+        "+critical path": mix.num_uops / dependence_rate,
+        "+functional units": mix.num_uops / limits.effective(),
+    }
+
+
+def run_experiment():
+    config = nehalem()
+    errors = {key: [] for key in (
+        "instructions/D", "uops/D", "+critical path", "+functional units"
+    )}
+    for name in WORKLOADS:
+        trace = get_trace(name, SHORT_TRACE_LENGTH)
+        perfect = simulate(trace, config, perfect_frontend=True,
+                           perfect_caches=True)
+        profile = get_profile(name, SHORT_TRACE_LENGTH)
+        scale = len(trace) / profile.mix.num_instructions
+        for key, cycles in base_cycle_variants(profile, config).items():
+            predicted = cycles * scale
+            errors[key].append(
+                abs(predicted - perfect.cycles) / perfect.cycles
+            )
+    return errors
+
+
+def test_fig3_7_base_component_error(benchmark):
+    errors = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E04 / Fig 3.7 -- base component error vs perfect-processor "
+             "simulation",
+             f"{'variant':<20s} {'mean err':>9s} {'max err':>9s}"]
+    means = {}
+    for key, values in errors.items():
+        means[key] = sum(values) / len(values)
+        lines.append(
+            f"{key:<20s} {means[key]:9.1%} {max(values):9.1%}"
+        )
+    write_table("E04_fig3_7", lines)
+
+    # Shape: each refinement must not hurt, and the full model must be
+    # clearly better than the naive instructions/D estimate.
+    assert means["+functional units"] < means["instructions/D"]
+    assert means["+functional units"] < means["uops/D"]
+    assert means["+functional units"] < 0.30

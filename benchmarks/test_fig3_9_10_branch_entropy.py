@@ -1,0 +1,88 @@
+"""E05 -- Fig 3.9 + Fig 3.10: the linear entropy<->missrate fit and its
+accuracy across five predictors.
+
+Paper shape: missrate correlates linearly with linear branch entropy; the
+trained model predicts per-application MPKI within ~1 MPKI on average for
+GAg/GAp/PAp/gshare/tournament.
+"""
+
+import random
+
+from conftest import get_trace, write_table
+
+from repro.frontend.entropy import (
+    profile_branch_entropy,
+    train_entropy_model,
+)
+from repro.frontend.predictors import make_predictor, simulate_predictor
+from repro.isa import Instruction, MacroOp
+from repro.workloads.trace import Trace
+
+PREDICTORS = ["GAg", "GAp", "PAp", "gshare", "tournament"]
+SUITE_SUBSET = ["gcc", "gobmk", "hmmer", "sjeng", "bzip2", "perlbench",
+                "h264ref", "mcf"]
+
+
+def synthetic_branch_traces():
+    """Training corpus spanning the entropy range (the >400 experiments)."""
+    rng = random.Random(17)
+    traces = []
+    for p in (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5):
+        outcomes = [rng.random() < p for _ in range(4000)]
+        traces.append(Trace([
+            Instruction(pc=0x100, op=MacroOp.BRANCH, taken=t)
+            for t in outcomes
+        ], name=f"rand{p}"))
+    for period in (2, 3, 5, 8):
+        outcomes = [i % period == 0 for i in range(4000)]
+        traces.append(Trace([
+            Instruction(pc=0x200, op=MacroOp.BRANCH, taken=t)
+            for t in outcomes
+        ], name=f"per{period}"))
+    return traces
+
+
+def run_experiment():
+    training = synthetic_branch_traces()
+    rows = {}
+    for predictor_name in PREDICTORS:
+        model = train_entropy_model(predictor_name, training)
+        mpki_errors = []
+        for workload in SUITE_SUBSET:
+            trace = get_trace(workload)
+            branches, misses = simulate_predictor(
+                make_predictor(predictor_name), trace
+            )
+            if branches == 0:
+                continue
+            profile = profile_branch_entropy(trace)
+            predicted_rate = model.predict_from_profile(profile)
+            actual_mpki = 1000.0 * misses / len(trace)
+            predicted_mpki = (
+                1000.0 * predicted_rate * branches / len(trace)
+            )
+            mpki_errors.append(abs(predicted_mpki - actual_mpki))
+        rows[predictor_name] = (model, mpki_errors)
+    return rows
+
+
+def test_fig3_9_10_branch_entropy(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E05 / Fig 3.9+3.10 -- linear branch entropy model",
+             f"{'predictor':<12s} {'slope':>7s} {'intcpt':>7s} {'R2':>6s} "
+             f"{'mean |MPKI err|':>16s}"]
+    for name, (model, errors) in rows.items():
+        mean_error = sum(errors) / len(errors)
+        lines.append(
+            f"{name:<12s} {model.slope:7.3f} {model.intercept:7.3f} "
+            f"{model.r_squared:6.2f} {mean_error:16.2f}"
+        )
+    write_table("E05_fig3_9_10", lines)
+
+    # Shape: positive slope and decent linear fit for every predictor
+    # (Fig 3.9); MPKI errors stay in the paper's few-MPKI band (Fig 3.10).
+    for name, (model, errors) in rows.items():
+        assert model.slope > 0.1, name
+        assert model.r_squared > 0.5, name
+        assert sum(errors) / len(errors) < 12.0, name

@@ -1,0 +1,64 @@
+"""E06 -- Fig 4.2: StatStack MPKI vs simulated MPKI, 3-level hierarchy.
+
+Paper shape: for benchmarks with non-negligible MPKI the statistical
+model tracks the simulated per-level MPKI closely (few-percent error for
+the 32 KB / 256 KB / 8 MB hierarchy).
+"""
+
+from conftest import get_profile, get_simulation, get_trace, write_table
+
+from repro.workloads import workload_names
+
+LEVEL_BYTES = [32 * 1024, 256 * 1024, 8 * 1024 * 1024]
+
+
+def run_experiment():
+    rows = {}
+    for name in workload_names():
+        trace = get_trace(name)
+        simulated = get_simulation(name).mpki
+        profile = get_profile(name)
+        statstack = profile.statstack()
+        loads = profile.reuse.load_accesses
+        stores = profile.reuse.store_accesses
+        predicted = []
+        for size in LEVEL_BYTES:
+            misses = (
+                statstack.miss_ratio(size, kind="load") * loads
+                + statstack.miss_ratio(size, kind="store") * stores
+            )
+            predicted.append(1000.0 * misses / len(trace))
+        rows[name] = (simulated, predicted)
+    return rows
+
+
+def test_fig4_2_statstack_mpki(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E06 / Fig 4.2 -- StatStack vs simulated MPKI "
+             "(L1 32K / L2 256K / L3 8M)",
+             f"{'benchmark':<14s} {'L1sim':>7s} {'L1ss':>7s} {'L2sim':>7s} "
+             f"{'L2ss':>7s} {'L3sim':>7s} {'L3ss':>7s}"]
+    errors = []
+    for name, (sim, pred) in sorted(rows.items()):
+        lines.append(
+            f"{name:<14s} {sim[0]:7.1f} {pred[0]:7.1f} {sim[1]:7.1f} "
+            f"{pred[1]:7.1f} {sim[2]:7.1f} {pred[2]:7.1f}"
+        )
+        for level in range(3):
+            if sim[level] > 10.0:  # paper: score only meaningful MPKI
+                errors.append(
+                    abs(pred[level] - sim[level]) / sim[level]
+                )
+    mean_error = sum(errors) / len(errors) if errors else 0.0
+    lines.append(
+        f"mean relative error over levels with MPKI > 10: {mean_error:.1%}"
+        f"  ({len(errors)} points)"
+    )
+    write_table("E06_fig4_2", lines)
+
+    # Shape: the statistical model tracks simulation on the significant
+    # points (paper reports 3.5-6.7% per level; we allow a wider band for
+    # the set-associative-vs-fully-associative approximation).
+    assert errors, "expected some benchmarks with MPKI > 10"
+    assert mean_error < 0.25

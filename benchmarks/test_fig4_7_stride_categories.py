@@ -1,0 +1,54 @@
+"""E09 -- Fig 4.7: stride category ratios per benchmark.
+
+Paper shape: most loads are single-strided for the majority of
+benchmarks; the filtering categories matter for a meaningful share; a few
+benchmarks (cactusADM, omnetpp, xalancbmk) are dominated by unique or
+random loads.
+"""
+
+from collections import Counter
+
+from conftest import get_profile, write_table
+
+from repro.workloads import workload_names
+
+CATEGORIES = ["STRIDE", "FILTER-1", "FILTER-2", "FILTER-3", "FILTER-4",
+              "RANDOM", "UNIQUE"]
+
+
+def run_experiment():
+    rows = {}
+    for name in workload_names():
+        profile = get_profile(name)
+        total = Counter()
+        for micro in profile.micro_traces:
+            total.update(micro.memory.stride_categories())
+        count = sum(total.values()) or 1
+        rows[name] = {c: total.get(c, 0) / count for c in CATEGORIES}
+    return rows
+
+
+def test_fig4_7_stride_categories(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    header = f"{'benchmark':<14s}" + "".join(
+        f"{c:>10s}" for c in CATEGORIES
+    )
+    lines = ["E09 / Fig 4.7 -- stride category ratios", header]
+    for name, ratios in sorted(rows.items()):
+        lines.append(
+            f"{name:<14s}" + "".join(
+                f"{ratios[c]:10.2f}" for c in CATEGORIES
+            )
+        )
+    write_table("E09_fig4_7", lines)
+
+    # Shape: streaming benchmarks are stride-dominated; pointer chasing
+    # produces random-strided loads; ratios are normalized.
+    strided = lambda r: (r["STRIDE"] + r["FILTER-1"] + r["FILTER-2"]
+                         + r["FILTER-3"] + r["FILTER-4"])
+    assert strided(rows["libquantum"]) > 0.5
+    assert strided(rows["lbm"]) > 0.5
+    assert rows["mcf"]["RANDOM"] + rows["mcf"]["UNIQUE"] > 0.2
+    for name, ratios in rows.items():
+        assert abs(sum(ratios.values()) - 1.0) < 0.01, name

@@ -1,0 +1,57 @@
+"""E22 -- Fig 6.15-6.17: cold-miss vs stride MLP model accuracy.
+
+Paper shape: the stride model's DRAM-component prediction beats the
+cold-miss model on full traces (CAL'18: 16.9% -> 3.6% average for the
+DRAM waiting time); the cumulative error distribution of the stride model
+dominates.
+"""
+
+from conftest import get_profile, get_simulation, write_table
+
+from repro.core import AnalyticalModel, nehalem
+
+WORKLOADS = ["libquantum", "milc", "lbm", "bwaves", "mcf", "omnetpp",
+             "gcc", "leslie3d", "soplex", "zeusmp"]
+
+
+def run_experiment():
+    config = nehalem()
+    stride = AnalyticalModel(mlp_model="stride")
+    cold = AnalyticalModel(mlp_model="cold")
+    rows = {}
+    for name in WORKLOADS:
+        sim = get_simulation(name)
+        profile = get_profile(name)
+        stride_prediction = stride.predict_performance(profile, config)
+        cold_prediction = cold.predict_performance(profile, config)
+        rows[name] = (sim.cpi, stride_prediction.cpi, cold_prediction.cpi)
+    return rows
+
+
+def test_fig6_15_17_mlp_models(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E22 / Fig 6.15-6.17 -- stride vs cold-miss MLP model",
+             f"{'benchmark':<12s} {'simCPI':>8s} {'stride':>8s} "
+             f"{'cold':>8s} {'strErr':>8s} {'coldErr':>8s}"]
+    stride_errors = []
+    cold_errors = []
+    for name, (sim_cpi, stride_cpi, cold_cpi) in rows.items():
+        stride_error = abs(stride_cpi - sim_cpi) / sim_cpi
+        cold_error = abs(cold_cpi - sim_cpi) / sim_cpi
+        stride_errors.append(stride_error)
+        cold_errors.append(cold_error)
+        lines.append(
+            f"{name:<12s} {sim_cpi:8.3f} {stride_cpi:8.3f} "
+            f"{cold_cpi:8.3f} {stride_error:8.1%} {cold_error:8.1%}"
+        )
+    mean_stride = sum(stride_errors) / len(stride_errors)
+    mean_cold = sum(cold_errors) / len(cold_errors)
+    lines.append(f"mean |err| stride: {mean_stride:.1%}   "
+                 f"cold: {mean_cold:.1%}")
+    write_table("E22_fig6_15_17", lines)
+
+    # Shape: the stride model is at least as accurate as the cold-miss
+    # model on average over memory-intensive workloads.
+    assert mean_stride <= mean_cold + 0.02
+    assert mean_stride < 0.30

@@ -1,0 +1,45 @@
+"""E18 -- Table 6.3 + Fig 6.5/6.6: performance accuracy across the
+design space.
+
+Paper shape: over 243 cores x 29 benchmarks the model predicts CPI with
+9.3% average error and preserves per-benchmark performance trends.  We
+evaluate a 27-core slice x 3 representative benchmarks against the
+simulator and additionally verify the predicted-vs-simulated correlation
+(the Fig 6.6 scatter).
+"""
+
+from conftest import get_space_data, write_table
+
+import numpy as np
+
+
+def run_experiment():
+    return get_space_data()
+
+
+def test_fig6_5_design_space_perf(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E18 / Fig 6.5+6.6 -- design space performance accuracy "
+             "(27 cores x 3 workloads)"]
+    all_errors = []
+    for name, rows in data.items():
+        errors = [
+            abs(result.cpi - sim.cpi) / sim.cpi
+            for _, sim, result in rows
+        ]
+        sims = np.array([sim.cpi for _, sim, _ in rows])
+        models = np.array([result.cpi for _, _, result in rows])
+        correlation = float(np.corrcoef(sims, models)[0, 1])
+        all_errors.extend(errors)
+        lines.append(
+            f"{name:<12s} mean err {np.mean(errors):6.1%}  "
+            f"max err {np.max(errors):6.1%}  corr {correlation:5.2f}"
+        )
+        assert correlation > 0.7, name
+    mean_error = float(np.mean(all_errors))
+    lines.append(f"OVERALL mean |CPI error|: {mean_error:.1%}  "
+                 f"(paper design-space figure: 9.3%)")
+    write_table("E18_fig6_5", lines)
+
+    assert mean_error < 0.30

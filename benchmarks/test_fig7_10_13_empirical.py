@@ -1,0 +1,84 @@
+"""E29 -- Fig 7.10-7.13: mechanistic model vs empirical regression model.
+
+Paper shape: the empirical model (trained on simulation results) predicts
+averages well, but the mechanistic model tracks per-design trends better,
+yielding equal-or-better Pareto filtering (sensitivity/specificity/HVR)
+-- especially when the empirical model must extrapolate.
+"""
+
+from conftest import get_space_data, write_table
+
+from repro.core.power import PowerModel
+from repro.explore.empirical import EmpiricalModel
+from repro.explore.pareto import pareto_metrics
+from conftest import get_profile, SHORT_TRACE_LENGTH
+
+
+def run_experiment():
+    data = get_space_data()
+
+    # Train empirical CPI/power models on HALF the (workload, config)
+    # simulation results; evaluate on everything (the paper's setup:
+    # empirical models need simulations of the same space to train).
+    cpi_samples = []
+    watt_samples = []
+    for workload, points in data.items():
+        profile = get_profile(workload, SHORT_TRACE_LENGTH)
+        for index, (config, sim, _) in enumerate(points):
+            if index % 2 == 0:
+                backend = PowerModel(config)
+                sim_watts = backend.evaluate(sim.activity).total
+                cpi_samples.append((profile, config, sim.cpi))
+                watt_samples.append((profile, config, sim_watts))
+    empirical_cpi = EmpiricalModel().fit(cpi_samples)
+    empirical_watts = EmpiricalModel().fit(watt_samples)
+
+    rows = {}
+    for workload, points in data.items():
+        profile = get_profile(workload, SHORT_TRACE_LENGTH)
+        true_points = []
+        mechanistic_points = []
+        empirical_points = []
+        for config, sim, result in points:
+            backend = PowerModel(config)
+            sim_watts = backend.evaluate(sim.activity).total
+            true_points.append((sim.seconds, sim_watts))
+            mechanistic_points.append(
+                (result.seconds, result.power_watts)
+            )
+            cpi = max(empirical_cpi.predict(profile, config), 1e-3)
+            watts = max(empirical_watts.predict(profile, config), 1e-3)
+            seconds = cpi * sim.instructions / (config.frequency_ghz * 1e9)
+            empirical_points.append((seconds, watts))
+        rows[workload] = (
+            pareto_metrics(true_points, mechanistic_points),
+            pareto_metrics(true_points, empirical_points),
+        )
+    return rows
+
+
+def test_fig7_10_13_empirical(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E29 / Fig 7.10-7.13 -- mechanistic vs empirical model",
+             f"{'workload':<12s} {'mech HVR':>9s} {'emp HVR':>9s} "
+             f"{'mech spec':>10s} {'emp spec':>10s}"]
+    mech_hvr = 0.0
+    emp_hvr = 0.0
+    for workload, (mechanistic, empirical) in rows.items():
+        lines.append(
+            f"{workload:<12s} {mechanistic.hvr:9.2f} {empirical.hvr:9.2f} "
+            f"{mechanistic.specificity:10.2f} "
+            f"{empirical.specificity:10.2f}"
+        )
+        mech_hvr += mechanistic.hvr
+        emp_hvr += empirical.hvr
+    n = len(rows)
+    lines.append(f"mean HVR -- mechanistic {mech_hvr / n:.2f}, "
+                 f"empirical {emp_hvr / n:.2f}")
+    write_table("E29_fig7_10_13", lines)
+
+    # Shape: the mechanistic model's Pareto coverage is at least
+    # competitive with the (simulation-trained) empirical baseline.
+    assert mech_hvr / n >= emp_hvr / n - 0.10
+    assert mech_hvr / n > 0.7

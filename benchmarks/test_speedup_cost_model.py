@@ -1,0 +1,60 @@
+"""E30 -- §6.2 / Summary: evaluation-cost comparison (the 315x / 18x).
+
+Paper numbers for 29 workloads x 243 configs x 1B instructions:
+detailed simulation ~150 days; classic interval model ~200 hours;
+micro-architecture independent model ~11.5 hours.
+"""
+
+from conftest import write_table
+
+from repro.explore.cost import (
+    interval_model_cost,
+    micro_arch_independent_cost,
+    simulation_cost,
+)
+
+
+def run_experiment():
+    # Paper-calibrated parameters: functional sims amortize over the ~37
+    # distinct memory/ROB/predictor configurations of the 243-core space;
+    # the analysis step costs a few seconds per pair.
+    workloads, configs, instructions = 29, 243, 1e9
+    sim = simulation_cost(workloads, configs, instructions, mips=0.5)
+    interval = interval_model_cost(
+        workloads, configs, instructions,
+        functional_mips=1.5,
+        distinct_memory_configs=37,
+        model_seconds_per_pair=2.0,
+    )
+    ours = micro_arch_independent_cost(
+        workloads, configs, instructions,
+        profiling_mips=6.0,
+        model_seconds_per_pair=5.0,
+    )
+    return sim, interval, ours
+
+
+def test_speedup_cost_model(benchmark):
+    sim, interval, ours = benchmark.pedantic(run_experiment, rounds=1,
+                                             iterations=1)
+
+    vs_sim = sim.seconds / ours.seconds
+    vs_interval = interval.seconds / ours.seconds
+    lines = ["E30 -- evaluation cost (29 workloads x 243 configs x 1B "
+             "instructions)",
+             f"detailed simulation:        {sim.days:8.1f} days   "
+             f"(paper: ~150 days)",
+             f"classic interval model:     {interval.hours:8.1f} hours  "
+             f"(paper: ~200 hours)",
+             f"micro-arch independent:     {ours.hours:8.1f} hours  "
+             f"(paper: ~11.5 hours)",
+             f"speedup vs simulation:      {vs_sim:8.0f}x       "
+             f"(paper: ~315x)",
+             f"speedup vs interval model:  {vs_interval:8.1f}x       "
+             f"(paper: ~18x)"]
+    write_table("E30_speedup", lines)
+
+    # Shape: orders of magnitude reproduce.
+    assert 100 < vs_sim < 2000
+    assert 3 < vs_interval < 60
+    assert ours.hours < 24

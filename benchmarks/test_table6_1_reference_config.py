@@ -1,0 +1,40 @@
+"""E14 -- Table 6.1/6.4: the reference Nehalem-like configuration."""
+
+from conftest import write_table
+
+from repro.core import nehalem
+
+
+def build_table():
+    config = nehalem()
+    return config, [
+        ("dispatch width", config.dispatch_width, 4),
+        ("ROB size", config.rob_size, 128),
+        ("issue ports", len(config.ports), 6),
+        ("L1I size (KB)", config.l1i.size_bytes // 1024, 32),
+        ("L1D size (KB)", config.l1d.size_bytes // 1024, 32),
+        ("L2 size (KB)", config.l2.size_bytes // 1024, 256),
+        ("LLC size (MB)", config.llc.size_bytes // (1024 * 1024), 8),
+        ("L1D latency", config.l1d.latency, 4),
+        ("L2 latency", config.l2.latency, 12),
+        ("LLC latency", config.llc.latency, 30),
+        ("DRAM latency", config.dram_latency, 200),
+        ("MSHR entries", config.mshr_entries, 10),
+        ("frequency (GHz)", config.frequency_ghz, 2.66),
+    ]
+
+
+def test_table6_1_reference_config(benchmark):
+    config, rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    lines = ["E14 / Table 6.1 -- reference architecture "
+             "(Intel Nehalem-like)",
+             f"{'parameter':<18s} {'value':>8s}"]
+    for name, value, expected in rows:
+        lines.append(f"{name:<18s} {value:>8}")
+    lines.append(f"branch predictor: {config.predictor}")
+    write_table("E14_table6_1", lines)
+
+    for name, value, expected in rows:
+        assert value == expected, name
+    assert config.predictor == "tournament"

@@ -1,0 +1,75 @@
+"""E17 -- Table 6.2: error introduced by each micro-architecture
+independent input.
+
+The paper replaces, one by one, the simulated inputs of the classic
+interval model with statistical ones (entropy-based branch rates, the
+MLP models) and reports the incremental error.  We mirror it by swapping
+model components: oracle branch missrate (from the simulator) vs the
+entropy model, and stride vs cold vs no MLP.
+"""
+
+from conftest import get_profile, get_simulation, write_table
+
+from repro.core import AnalyticalModel, nehalem
+from repro.frontend.entropy import EntropyMissRateModel
+
+WORKLOADS = ["gcc", "mcf", "libquantum", "gamess", "bzip2", "milc",
+             "omnetpp", "hmmer"]
+
+
+def mean_error(model, config, oracle_branch=False):
+    errors = []
+    for name in WORKLOADS:
+        sim = get_simulation(name)
+        if oracle_branch and sim.branches:
+            rate = sim.branch_mispredictions / sim.branches
+            evaluator = AnalyticalModel(
+                entropy_model=EntropyMissRateModel(
+                    "oracle", slope=0.0, intercept=rate, history_bits=8
+                ),
+                mlp_model=model.interval.mlp_model,
+            )
+        else:
+            evaluator = model
+        prediction = evaluator.predict_performance(
+            get_profile(name), config
+        )
+        errors.append(abs(prediction.cpi - sim.cpi) / sim.cpi)
+    return sum(errors) / len(errors), max(errors)
+
+
+def run_experiment():
+    config = nehalem()
+    variants = {}
+    variants["oracle branch + stride MLP"] = mean_error(
+        AnalyticalModel(mlp_model="stride"), config, oracle_branch=True
+    )
+    variants["entropy branch + stride MLP"] = mean_error(
+        AnalyticalModel(mlp_model="stride"), config
+    )
+    variants["entropy branch + cold MLP"] = mean_error(
+        AnalyticalModel(mlp_model="cold"), config
+    )
+    variants["entropy branch + no MLP"] = mean_error(
+        AnalyticalModel(mlp_model="none"), config
+    )
+    return variants
+
+
+def test_table6_2_component_errors(benchmark):
+    variants = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E17 / Table 6.2 -- error per micro-arch independent "
+             "component",
+             f"{'variant':<30s} {'mean err':>9s} {'max err':>9s}"]
+    for name, (mean, maximum) in variants.items():
+        lines.append(f"{name:<30s} {mean:9.1%} {maximum:9.1%}")
+    write_table("E17_table6_2", lines)
+
+    # Shape: entropy-based branch input costs little over the oracle;
+    # removing MLP modeling costs the most (the paper's ordering).
+    full = variants["entropy branch + stride MLP"][0]
+    oracle = variants["oracle branch + stride MLP"][0]
+    none = variants["entropy branch + no MLP"][0]
+    assert abs(full - oracle) < 0.10
+    assert none > full

@@ -1,0 +1,47 @@
+"""E25 -- Table 7.1: optimizing performance under power constraints.
+
+Paper shape: for each power budget the model picks the fastest feasible
+design; relaxing the budget never yields a slower pick.
+"""
+
+from conftest import get_space_data, write_table
+
+from repro.explore.dvfs import best_under_power_cap
+
+
+def run_experiment():
+    data = get_space_data()
+    rows = {}
+    for workload, points in data.items():
+        candidates = [(config, result) for config, _, result in points]
+        watts = sorted(result.power_watts for _, result in candidates)
+        caps = [watts[len(watts) // 4], watts[len(watts) // 2], watts[-1]]
+        picks = []
+        for cap in caps:
+            chosen = best_under_power_cap(candidates, cap)
+            picks.append((cap, chosen))
+        rows[workload] = picks
+    return rows
+
+
+def test_table7_1_power_constrained(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = ["E25 / Table 7.1 -- performance under power constraints",
+             f"{'workload':<12s} {'cap (W)':>8s} {'chosen core':<28s} "
+             f"{'seconds':>10s} {'watts':>7s}"]
+    for workload, picks in rows.items():
+        previous_seconds = None
+        for cap, chosen in picks:
+            assert chosen is not None
+            config, result = chosen
+            lines.append(
+                f"{workload:<12s} {cap:8.2f} {config.name:<28s} "
+                f"{result.seconds:10.3e} {result.power_watts:7.2f}"
+            )
+            assert result.power_watts <= cap + 1e-9
+            if previous_seconds is not None:
+                # A looser budget can only help.
+                assert result.seconds <= previous_seconds + 1e-12
+            previous_seconds = result.seconds
+    write_table("E25_table7_1", lines)

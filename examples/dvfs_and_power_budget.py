@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""DVFS exploration and power-constrained core selection.
+
+Reproduces the application studies of thesis §7.2-7.3: find the ED^2P-
+optimal DVFS operating point for a workload (Table 7.2 / Fig 7.3) and
+pick the fastest core under a power budget (Table 7.1).
+
+Run:  python examples/dvfs_and_power_budget.py
+"""
+
+from repro import (
+    AnalyticalModel,
+    SamplingConfig,
+    generate_trace,
+    make_workload,
+    nehalem,
+    profile_application,
+)
+from repro.core.machine import design_space
+from repro.explore.dvfs import (
+    best_under_power_cap,
+    explore_dvfs,
+    optimal_ed2p,
+)
+
+
+def main() -> None:
+    trace = generate_trace(make_workload("gamess"),
+                           max_instructions=30_000)
+    profile = profile_application(trace, SamplingConfig(1000, 5000))
+    model = AnalyticalModel()
+
+    # --- DVFS sweep on the reference core --------------------------------
+    print("=== DVFS exploration (gamess on the Nehalem-like core) ===")
+    print(f"{'GHz':>5s} {'Vdd':>5s} {'ms':>8s} {'W':>7s} "
+          f"{'EDP':>10s} {'ED2P':>10s}")
+    results = explore_dvfs(profile, nehalem(), model=model)
+    for point in results:
+        print(f"{point.point.frequency_ghz:5.2f} {point.point.vdd:5.2f} "
+              f"{point.seconds * 1e3:8.3f} {point.power_watts:7.2f} "
+              f"{point.edp:10.3e} {point.ed2p:10.3e}")
+    best = optimal_ed2p(results)
+    print(f"ED^2P-optimal operating point: "
+          f"{best.point.frequency_ghz:.2f} GHz\n")
+
+    # --- Power-constrained core selection --------------------------------
+    print("=== Fastest core under a power budget (gamess) ===")
+    space = design_space({
+        "dispatch_width": (2, 4, 6),
+        "rob_size": (64, 128, 256),
+        "llc_mb": (2, 8),
+    })
+    candidates = [(config, model.predict(profile, config))
+                  for config in space]
+    for cap in (6.0, 9.0, 14.0):
+        chosen = best_under_power_cap(candidates, cap)
+        if chosen is None:
+            print(f"cap {cap:5.1f} W: no feasible design")
+        else:
+            config, result = chosen
+            print(f"cap {cap:5.1f} W: {config.name:<30s} "
+                  f"{result.seconds * 1e3:7.3f} ms at "
+                  f"{result.power_watts:5.2f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a workload once, predict performance and power.
+
+Demonstrates the paper's core flow:
+
+1. generate (or load) a workload trace;
+2. run the micro-architecture independent profiler ONCE;
+3. evaluate the analytical model for any machine configuration in
+   milliseconds;
+4. cross-check against the cycle-level reference simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticalModel,
+    SamplingConfig,
+    generate_trace,
+    make_workload,
+    nehalem,
+    low_power_core,
+    profile_application,
+    simulate,
+)
+
+
+def main() -> None:
+    # 1. A gcc-like workload trace (synthetic SPEC CPU 2006 stand-in).
+    trace = generate_trace(make_workload("gcc"), max_instructions=50_000)
+    print(f"workload: {trace.name}, {len(trace)} instructions, "
+          f"{trace.stats().uops_per_instruction:.2f} uops/instruction")
+
+    # 2. One micro-architecture independent profiling pass (the slow
+    #    step -- done once, reused for every configuration below).
+    profile = profile_application(
+        trace, SamplingConfig(micro_trace_length=1000, window_length=5000)
+    )
+    print(f"profiled {len(profile.micro_traces)} micro-traces "
+          f"({profile.sample_fraction:.0%} of the trace)")
+    print(f"branch entropy (8-bit history): "
+          f"{profile.branch_entropy.at(8):.3f}")
+    print(f"critical path at ROB=128: {profile.chains.cp.at(128):.1f}")
+
+    # 3. Model evaluation: two very different cores, same profile.
+    model = AnalyticalModel()
+    for config in (nehalem(), low_power_core()):
+        result = model.predict(profile, config)
+        stack = result.cpi_stack()
+        print(f"\n--- {config.name} ---")
+        print(f"predicted CPI:   {result.cpi:.3f}")
+        print(f"predicted power: {result.power_watts:.2f} W "
+              f"(static {result.power.static_total:.2f} W)")
+        print(f"CPI stack:       " + "  ".join(
+            f"{key}={value:.2f}" for key, value in stack.items()
+        ))
+
+    # 4. Ground truth: the cycle-level simulator on the reference core.
+    reference = simulate(trace, nehalem())
+    predicted = model.predict(profile, nehalem())
+    error = (predicted.cpi - reference.cpi) / reference.cpi
+    print(f"\nsimulated CPI on {nehalem().name}: {reference.cpi:.3f} "
+          f"(model error {error:+.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Functional cache hierarchy substrate.
+
+Set-associative LRU caches, an inclusive multi-level hierarchy, MSHRs and a
+PC-indexed stride prefetcher.  The reference simulator uses these for
+timing; validation experiments (Fig 4.2, 4.4) use them as the ground truth
+StatStack is compared against.
+"""
+
+from repro.caches.cache import (
+    Cache,
+    CacheAccessResult,
+    CacheConfig,
+    CacheHierarchy,
+    MissKind,
+)
+from repro.caches.mshr import MSHRFile
+from repro.caches.prefetcher import StridePrefetcher, PrefetchStats
+
+__all__ = [
+    "Cache",
+    "CacheAccessResult",
+    "CacheConfig",
+    "CacheHierarchy",
+    "MissKind",
+    "MSHRFile",
+    "StridePrefetcher",
+    "PrefetchStats",
+]

@@ -1,0 +1,102 @@
+"""Miss Status Handling Registers (MSHR) file.
+
+Thesis §4.6: MSHRs coalesce requests to the same outstanding cache line and
+bound the number of concurrently outstanding misses, putting a cap on
+memory-level parallelism.  The reference simulator uses this timing-aware
+model; the analytical model approximates the same effect with the
+soft-cap equation (Eq 4.4, see :mod:`repro.core.memory_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class MSHRStats:
+    allocations: int = 0
+    coalesced: int = 0
+    stalls: int = 0  # requests that found the file full
+
+
+class MSHRFile:
+    """Timing-aware MSHR file keyed by cache-line address.
+
+    Entries record the cycle at which the outstanding miss resolves.
+    ``request(line, now, latency)`` returns the cycle at which the miss's
+    data is available, accounting for coalescing and for waiting on a free
+    entry when the file is full.
+    """
+
+    def __init__(self, num_entries: int, line_size: int = 64) -> None:
+        if num_entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self.line_size = line_size
+        self.stats = MSHRStats()
+        self._entries: Dict[int, int] = {}  # line -> completion cycle
+
+    def _expire(self, now: int) -> None:
+        expired = [line for line, done in self._entries.items() if done <= now]
+        for line in expired:
+            del self._entries[line]
+
+    def occupancy(self, now: int) -> int:
+        self._expire(now)
+        return len(self._entries)
+
+    def acquire(self, addr: int, now: int):
+        """Reserve an entry for a miss starting at/after ``now``.
+
+        Returns ``(start_cycle, coalesced_done)``: when the line is
+        already outstanding, ``coalesced_done`` is its completion cycle
+        and no new entry is taken; otherwise ``coalesced_done`` is None
+        and the caller must call :meth:`install` with the completion
+        cycle computed *from* ``start_cycle`` (this is what lets the
+        memory bus be scheduled at the true request start rather than at
+        issue time).
+        """
+        line = addr // self.line_size
+        self._expire(now)
+
+        existing = self._entries.get(line)
+        if existing is not None:
+            self.stats.coalesced += 1
+            return existing, existing
+
+        start = now
+        if len(self._entries) >= self.num_entries:
+            # Full: wait for the earliest entry to free up.
+            self.stats.stalls += 1
+            while len(self._entries) >= self.num_entries:
+                earliest = min(self._entries.values())
+                start = max(start, earliest)
+                self._expire(start)
+
+        # Reserve with a placeholder; install() finalizes.
+        self._entries[line] = start
+        self.stats.allocations += 1
+        return start, None
+
+    def install(self, addr: int, done: int) -> None:
+        """Finalize a reserved entry's completion cycle."""
+        line = addr // self.line_size
+        self._entries[line] = done
+
+    def request(self, addr: int, now: int, latency: int) -> int:
+        """Issue a miss request; return its data-ready cycle.
+
+        Convenience wrapper over :meth:`acquire`/:meth:`install` for
+        callers whose latency does not depend on the start cycle.
+        """
+        start, coalesced = self.acquire(addr, now)
+        if coalesced is not None:
+            return coalesced
+        done = start + latency
+        self.install(addr, done)
+        return done
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.stats = MSHRStats()

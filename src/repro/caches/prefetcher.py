@@ -1,0 +1,77 @@
+"""PC-indexed stride prefetcher (thesis §4.9, Fig 4.10).
+
+Tracks per-static-load last address and stride in a limited-size table.
+On a repeated stride it issues a prefetch for the next address, except
+when the prediction crosses a DRAM page boundary (prefetchers do not cross
+pages).  Timeliness is the simulator's concern: the prefetch is issued at
+training time, so a load arriving too soon after its trainer still sees
+part of the miss latency (Eq 4.13 models this analytically).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class PrefetchStats:
+    trainings: int = 0
+    issued: int = 0
+    page_blocked: int = 0
+    table_evictions: int = 0
+
+
+class StridePrefetcher:
+    """Per-PC stride detector with a bounded LRU training table."""
+
+    def __init__(
+        self,
+        table_entries: int = 64,
+        page_size: int = 4096,
+        degree: int = 1,
+        min_confidence: int = 1,
+    ) -> None:
+        self.table_entries = table_entries
+        self.page_size = page_size
+        self.degree = degree
+        self.min_confidence = min_confidence
+        self.stats = PrefetchStats()
+        # pc -> (last_addr, last_stride, confidence), LRU ordered.
+        self._table: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
+
+    def train(self, pc: int, addr: int) -> List[int]:
+        """Observe one load; return the addresses to prefetch (maybe [])."""
+        self.stats.trainings += 1
+        entry = self._table.get(pc)
+        prefetches: List[int] = []
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                self._table.popitem(last=False)
+                self.stats.table_evictions += 1
+            self._table[pc] = (addr, 0, 0)
+            return prefetches
+
+        last_addr, last_stride, confidence = entry
+        stride = addr - last_addr
+        if stride != 0 and stride == last_stride:
+            confidence = min(confidence + 1, 3)
+        elif stride != 0:
+            confidence = 0
+        self._table[pc] = (addr, stride, confidence)
+        self._table.move_to_end(pc)
+
+        if stride != 0 and confidence >= self.min_confidence:
+            for i in range(1, self.degree + 1):
+                target = addr + i * stride
+                if target // self.page_size != addr // self.page_size:
+                    self.stats.page_blocked += 1
+                    break
+                prefetches.append(target)
+                self.stats.issued += 1
+        return prefetches
+
+    def reset(self) -> None:
+        self._table.clear()
+        self.stats = PrefetchStats()

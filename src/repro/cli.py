@@ -1,0 +1,205 @@
+"""Command-line interface: profile, predict, simulate, sweep.
+
+Mirrors the released AIP/PMT workflow: ``profile`` writes a reusable
+profile file; ``predict`` evaluates the analytical model against it for a
+named or custom configuration; ``simulate`` runs the cycle-level
+reference; ``sweep`` explores a design space and reports the Pareto
+frontier.
+
+Examples::
+
+    python -m repro.cli workloads
+    python -m repro.cli profile gcc --instructions 50000 -o gcc.profile
+    python -m repro.cli predict gcc.profile
+    python -m repro.cli predict gcc.profile --width 2 --rob 64 --llc-mb 2
+    python -m repro.cli simulate gcc --instructions 50000
+    python -m repro.cli sweep gcc.profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.caches.cache import CacheConfig
+from repro.core import AnalyticalModel, nehalem
+from repro.core.machine import MachineConfig, design_space
+from repro.explore.dse import evaluate_design_space
+from repro.explore.pareto import pareto_front
+from repro.profiler import SamplingConfig, profile_application
+from repro.profiler.serialization import load_profile, save_profile
+from repro.simulator import simulate
+from repro.workloads import generate_trace, make_workload, workload_names
+
+
+def _config_from_args(args: argparse.Namespace) -> MachineConfig:
+    """Build a configuration from the reference core + CLI overrides."""
+    config = nehalem()
+    if args.width is not None:
+        config = replace(config, dispatch_width=args.width)
+    if args.rob is not None:
+        config = replace(config, rob_size=args.rob)
+    if args.llc_mb is not None:
+        config = replace(
+            config,
+            llc=CacheConfig(args.llc_mb << 20, 16, 64, latency=30),
+        )
+    if args.frequency is not None:
+        config = config.with_frequency(args.frequency)
+    if args.prefetch:
+        config = replace(config, prefetch=True)
+    return config
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=None,
+                        help="dispatch width override")
+    parser.add_argument("--rob", type=int, default=None,
+                        help="ROB size override")
+    parser.add_argument("--llc-mb", type=int, default=None,
+                        help="LLC size in MB")
+    parser.add_argument("--frequency", type=float, default=None,
+                        help="clock frequency in GHz")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="enable the stride prefetcher")
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    for name in workload_names():
+        print(name)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        make_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+    )
+    sampling = SamplingConfig(args.micro_trace, args.window)
+    profile = profile_application(trace, sampling)
+    save_profile(profile, args.output)
+    print(f"profiled {profile.num_instructions} instructions of "
+          f"{profile.name} ({len(profile.micro_traces)} micro-traces) "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    profile = load_profile(args.profile)
+    config = _config_from_args(args)
+    model = AnalyticalModel(mlp_model=args.mlp_model)
+    result = model.predict(profile, config)
+    print(f"workload:  {profile.name}")
+    print(f"config:    {config.name}")
+    print(f"CPI:       {result.cpi:.3f}   (IPC {1 / result.cpi:.3f})")
+    print(f"time:      {result.seconds * 1e3:.3f} ms")
+    print(f"power:     {result.power_watts:.2f} W "
+          f"(static {result.power.static_total:.2f} W)")
+    print(f"energy:    {result.energy_joules * 1e3:.3f} mJ   "
+          f"EDP {result.edp:.3e}   ED2P {result.ed2p:.3e}")
+    print("CPI stack: " + "  ".join(
+        f"{key}={value:.3f}" for key, value in result.cpi_stack().items()
+    ))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        make_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+    )
+    config = _config_from_args(args)
+    result = simulate(trace, config)
+    print(f"workload:  {trace.name}")
+    print(f"config:    {config.name}")
+    print(f"cycles:    {result.cycles:.0f}")
+    print(f"CPI:       {result.cpi:.3f}")
+    print(f"branches:  {result.branches} "
+          f"({result.branch_mispredictions} mispredicted)")
+    print(f"MPKI:      " + "/".join(f"{m:.1f}" for m in result.mpki))
+    print("CPI stack: " + "  ".join(
+        f"{key}={value:.3f}" for key, value in result.cpi_stack().items()
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    profile = load_profile(args.profile)
+    configs = design_space()
+    if args.limit:
+        configs = configs[:args.limit]
+    results = evaluate_design_space([profile], configs)
+    points = results[profile.name]
+    coordinates = [(p.seconds, p.power_watts) for p in points]
+    frontier = sorted(pareto_front(coordinates),
+                      key=lambda i: coordinates[i][0])
+    print(f"{len(points)} designs evaluated; "
+          f"{len(frontier)} Pareto-optimal:")
+    for index in frontier:
+        point = points[index]
+        print(f"  {point.config.name:<32s} {point.seconds * 1e6:9.1f} us "
+              f"{point.power_watts:7.2f} W  CPI {point.cpi:5.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Micro-architecture independent analytical processor "
+            "performance and power modeling (ISPASS 2015 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("workloads",
+                                help="list the synthetic workload suite")
+    sub.set_defaults(func=cmd_workloads)
+
+    sub = subparsers.add_parser("profile",
+                                help="profile a workload to a file")
+    sub.add_argument("workload", help="workload name (see 'workloads')")
+    sub.add_argument("-o", "--output", required=True,
+                     help="output profile path (JSON)")
+    sub.add_argument("--instructions", type=int, default=50_000)
+    sub.add_argument("--micro-trace", type=int, default=1000)
+    sub.add_argument("--window", type=int, default=5000)
+    sub.add_argument("--seed", type=int, default=42)
+    sub.set_defaults(func=cmd_profile)
+
+    sub = subparsers.add_parser("predict",
+                                help="evaluate the analytical model")
+    sub.add_argument("profile", help="profile file from 'profile'")
+    sub.add_argument("--mlp-model", choices=("stride", "cold", "none"),
+                     default="stride")
+    _add_config_arguments(sub)
+    sub.set_defaults(func=cmd_predict)
+
+    sub = subparsers.add_parser("simulate",
+                                help="run the cycle-level simulator")
+    sub.add_argument("workload")
+    sub.add_argument("--instructions", type=int, default=50_000)
+    sub.add_argument("--seed", type=int, default=42)
+    _add_config_arguments(sub)
+    sub.set_defaults(func=cmd_simulate)
+
+    sub = subparsers.add_parser("sweep",
+                                help="design-space sweep + Pareto front")
+    sub.add_argument("profile")
+    sub.add_argument("--limit", type=int, default=0,
+                     help="evaluate only the first N configurations")
+    sub.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

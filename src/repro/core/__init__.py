@@ -1,0 +1,72 @@
+"""The paper's primary contribution: the micro-architecture independent
+analytical performance and power model.
+
+Usage sketch::
+
+    from repro.workloads import make_workload, generate_trace
+    from repro.profiler import profile_application
+    from repro.core import AnalyticalModel, nehalem
+
+    trace = generate_trace(make_workload("gcc"), max_instructions=100_000)
+    profile = profile_application(trace)          # one-time cost
+    model = AnalyticalModel()
+    prediction = model.predict(profile, nehalem())  # per-config, fast
+    print(prediction.cpi, prediction.cpi_stack, prediction.power_watts)
+"""
+
+from repro.core.machine import (
+    DVFSPoint,
+    MachineConfig,
+    PortSpec,
+    design_space,
+    dvfs_points,
+    low_power_core,
+    nehalem,
+)
+from repro.core.dispatch import (
+    DispatchLimits,
+    effective_dispatch_rate,
+    schedule_ports,
+)
+from repro.core.branch import branch_resolution_time
+from repro.core.mlp import (
+    cold_miss_mlp,
+    stride_mlp,
+    VirtualStream,
+    build_virtual_stream,
+)
+from repro.core.memory_model import (
+    bus_queue_cycles,
+    llc_chain_penalty,
+    mshr_soft_cap,
+)
+from repro.core.interval import IntervalModel, Prediction
+from repro.core.power import ActivityVector, PowerBreakdown, PowerModel
+from repro.core.model import AnalyticalModel
+
+__all__ = [
+    "DVFSPoint",
+    "MachineConfig",
+    "PortSpec",
+    "design_space",
+    "dvfs_points",
+    "low_power_core",
+    "nehalem",
+    "DispatchLimits",
+    "effective_dispatch_rate",
+    "schedule_ports",
+    "branch_resolution_time",
+    "cold_miss_mlp",
+    "stride_mlp",
+    "VirtualStream",
+    "build_virtual_stream",
+    "bus_queue_cycles",
+    "llc_chain_penalty",
+    "mshr_soft_cap",
+    "IntervalModel",
+    "Prediction",
+    "ActivityVector",
+    "PowerBreakdown",
+    "PowerModel",
+    "AnalyticalModel",
+]

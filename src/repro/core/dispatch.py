@@ -1,0 +1,162 @@
+"""Effective dispatch rate modeling (thesis §3.3--3.4, Eq 3.10).
+
+The base component of the interval model divides the uop count by the
+*effective* dispatch rate
+
+    Deff = min( D,
+                ROB / (lat * CP(ROB)),
+                N / max_p N_p,
+                min_i N * U_i / N_i,
+                min_j N * U_j / (N_j * lat_j) )
+
+whose terms are: the physical dispatch width; the dependence-chain limit
+(Little's law over the ROB, Eq 3.7); the busiest issue port; pipelined
+functional-unit contention; and non-pipelined unit occupancy.
+
+Ports are assigned with the thesis' greedy schedule: uop kinds servable by
+a single port go first, then multi-port kinds are balanced over their
+least-loaded ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.machine import MachineConfig, NON_PIPELINED, PortSpec
+from repro.isa import UopKind
+from repro.profiler.dependences import DependenceChains
+from repro.profiler.mix import UopMix
+
+
+def schedule_ports(
+    uop_counts: Mapping[UopKind, int],
+    ports: Sequence[PortSpec],
+) -> List[float]:
+    """Greedy issue-port schedule; returns per-port activity counts.
+
+    Single-port kinds are committed first (they have no choice), then each
+    remaining kind is spread over its candidate ports, always topping up
+    the least-loaded one (thesis §3.4's balanced split).
+    """
+    activity = [0.0] * len(ports)
+    single: List[Tuple[UopKind, int]] = []
+    multi: List[Tuple[UopKind, int]] = []
+    for kind, count in uop_counts.items():
+        serving = [i for i, port in enumerate(ports) if kind in port.kinds]
+        if not serving:
+            # Kind unservable on this machine: treat as using the least
+            # loaded port so the model degrades gracefully.
+            multi.append((kind, count))
+        elif len(serving) == 1:
+            single.append((kind, count))
+        else:
+            multi.append((kind, count))
+
+    for kind, count in single:
+        index = next(
+            i for i, port in enumerate(ports) if kind in port.kinds
+        )
+        activity[index] += count
+
+    # Schedule scarcer kinds first so the balancing has room to even out.
+    multi.sort(key=lambda item: item[1])
+    for kind, count in multi:
+        serving = [i for i, port in enumerate(ports) if kind in port.kinds]
+        if not serving:
+            serving = list(range(len(ports)))
+        remaining = float(count)
+        # Water-filling: raise the lowest-loaded serving ports together.
+        while remaining > 1e-9:
+            serving.sort(key=lambda i: activity[i])
+            lowest = activity[serving[0]]
+            # Ports tied at the lowest level.
+            tied = [i for i in serving if activity[i] - lowest < 1e-9]
+            if len(tied) == len(serving):
+                share = remaining / len(tied)
+                for i in tied:
+                    activity[i] += share
+                remaining = 0.0
+                break
+            next_level = min(
+                activity[i] for i in serving if activity[i] - lowest >= 1e-9
+            )
+            fill = min(remaining, (next_level - lowest) * len(tied))
+            for i in tied:
+                activity[i] += fill / len(tied)
+            remaining -= fill
+    return activity
+
+
+@dataclass
+class DispatchLimits:
+    """The competing limits of Eq 3.10, for analysis and plotting."""
+
+    dispatch_width: float
+    dependences: float
+    functional_ports: float
+    functional_units: float  # pipelined and non-pipelined combined
+
+    def effective(self) -> float:
+        return max(
+            1e-6,
+            min(
+                self.dispatch_width,
+                self.dependences,
+                self.functional_ports,
+                self.functional_units,
+            ),
+        )
+
+    def limiter(self) -> str:
+        """Name of the binding constraint (Fig 3.6)."""
+        values = {
+            "dispatch": self.dispatch_width,
+            "dependences": self.dependences,
+            "functional_port": self.functional_ports,
+            "functional_unit": self.functional_units,
+        }
+        return min(values, key=values.get)
+
+
+def effective_dispatch_rate(
+    mix: UopMix,
+    chains: DependenceChains,
+    config: MachineConfig,
+) -> DispatchLimits:
+    """Evaluate every term of Eq 3.10 for one instruction mix."""
+    n = max(mix.num_uops, 1)
+    latencies = config.latencies()
+    average_latency = mix.average_latency(latencies)
+
+    # Term 2: ROB / (lat * CP(ROB)).
+    cp = max(chains.cp.at(config.rob_size), 1.0)
+    dependences = config.rob_size / (average_latency * cp)
+
+    # Term 3: the busiest port limits throughput to N / N_p.
+    activity = schedule_ports(mix.counts, config.ports)
+    busiest = max(activity) if activity else 0.0
+    functional_ports = n / busiest if busiest > 0 else float(
+        config.dispatch_width
+    )
+
+    # Terms 4 and 5: pipelined and non-pipelined functional units.
+    functional_units = float("inf")
+    for kind, count in mix.counts.items():
+        if count == 0:
+            continue
+        units = max(config.units_of(kind), 1)
+        if kind in NON_PIPELINED:
+            limit = n * units / (count * config.latency_of(kind))
+        else:
+            limit = n * units / count
+        functional_units = min(functional_units, limit)
+    if functional_units == float("inf"):
+        functional_units = float(config.dispatch_width)
+
+    return DispatchLimits(
+        dispatch_width=float(config.dispatch_width),
+        dependences=dependences,
+        functional_ports=functional_ports,
+        functional_units=functional_units,
+    )

@@ -1,0 +1,151 @@
+"""The analytical model facade: profile x configuration -> prediction.
+
+Couples the interval performance model with the power backend and derives
+the activity factors from the performance prediction (thesis Eq 3.16),
+mirroring the paper's flow where profile statistics feed McPAT directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.interval import IntervalModel, Prediction
+from repro.core.machine import MachineConfig
+from repro.core.power import ActivityVector, PowerBreakdown, PowerModel
+from repro.frontend.entropy import EntropyMissRateModel
+from repro.isa import UopKind
+from repro.profiler.profile import ApplicationProfile
+
+
+@dataclass
+class ModelResult:
+    """Performance + power prediction for one (workload, config) pair."""
+
+    performance: Prediction
+    power: PowerBreakdown
+    activity: ActivityVector
+    energy_joules: float
+    edp: float
+    ed2p: float
+
+    # -- convenience ------------------------------------------------------
+
+    @property
+    def cpi(self) -> float:
+        return self.performance.cpi
+
+    @property
+    def cycles(self) -> float:
+        return self.performance.cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.performance.seconds
+
+    @property
+    def power_watts(self) -> float:
+        return self.power.total
+
+    def cpi_stack(self) -> Dict[str, float]:
+        return self.performance.cpi_stack()
+
+    def power_stack(self) -> Dict[str, float]:
+        return self.power.stack()
+
+
+def derive_activity(
+    profile: ApplicationProfile,
+    prediction: Prediction,
+    config: MachineConfig,
+) -> ActivityVector:
+    """Predicted activity factors from the profile + prediction (Eq 3.16).
+
+    Cache access counts cascade through the StatStack miss ratios; the
+    instruction stream contributes L1I lookups and its own L2/LLC traffic.
+    """
+    statstack = profile.statstack()
+    instruction_statstack = profile.instruction_statstack()
+    mix = profile.mix
+    scale = (
+        prediction.instructions / mix.num_instructions
+        if mix.num_instructions else 0.0
+    )
+
+    loads = mix.counts.get(UopKind.LOAD, 0) * scale
+    stores = mix.counts.get(UopKind.STORE, 0) * scale
+    branches = mix.counts.get(UopKind.BRANCH, 0) * scale
+    instructions = prediction.instructions
+
+    sizes = [config.l1d.size_bytes, config.l2.size_bytes,
+             config.llc.size_bytes]
+    load_ratios = statstack.hierarchy_miss_ratios(sizes, kind="load")
+    store_ratios = statstack.hierarchy_miss_ratios(sizes, kind="store")
+    i_sizes = [config.l1i.size_bytes, config.l2.size_bytes,
+               config.llc.size_bytes]
+    i_ratios = instruction_statstack.hierarchy_miss_ratios(
+        i_sizes, kind="load"
+    )
+
+    l1_data = loads + stores
+    l2_data = loads * load_ratios[0] + stores * store_ratios[0]
+    llc_data = loads * load_ratios[1] + stores * store_ratios[1]
+    dram_data = loads * load_ratios[2] + stores * store_ratios[2]
+    l1_instr = instructions
+    l2_instr = instructions * i_ratios[0]
+    llc_instr = instructions * i_ratios[1]
+    dram_instr = instructions * i_ratios[2]
+
+    return ActivityVector(
+        cycles=prediction.cycles,
+        uops=prediction.uops,
+        uop_kind_counts={
+            kind: count * scale for kind, count in mix.counts.items()
+        },
+        l1_accesses=l1_data + l1_instr,
+        l2_accesses=l2_data + l2_instr,
+        llc_accesses=llc_data + llc_instr,
+        dram_accesses=dram_data + dram_instr,
+        branch_lookups=branches,
+    )
+
+
+class AnalyticalModel:
+    """Top-level model: one profile, any number of configurations."""
+
+    def __init__(
+        self,
+        entropy_model: Optional[EntropyMissRateModel] = None,
+        mlp_model: str = "stride",
+        enable_llc_chaining: bool = True,
+        enable_mshr: bool = True,
+        enable_bus: bool = True,
+    ) -> None:
+        self.interval = IntervalModel(
+            entropy_model=entropy_model,
+            mlp_model=mlp_model,
+            enable_llc_chaining=enable_llc_chaining,
+            enable_mshr=enable_mshr,
+            enable_bus=enable_bus,
+        )
+
+    def predict_performance(
+        self, profile: ApplicationProfile, config: MachineConfig
+    ) -> Prediction:
+        return self.interval.predict(profile, config)
+
+    def predict(
+        self, profile: ApplicationProfile, config: MachineConfig
+    ) -> ModelResult:
+        prediction = self.interval.predict(profile, config)
+        activity = derive_activity(profile, prediction, config)
+        power_model = PowerModel(config)
+        breakdown = power_model.evaluate(activity)
+        return ModelResult(
+            performance=prediction,
+            power=breakdown,
+            activity=activity,
+            energy_joules=power_model.energy_joules(activity),
+            edp=power_model.edp(activity),
+            ed2p=power_model.ed2p(activity),
+        )

@@ -1,0 +1,58 @@
+"""Design-space exploration tooling (thesis Chapters 6--7).
+
+Sweeps the analytical model over configuration spaces, extracts Pareto
+frontiers, scores them against simulation with the thesis' four metrics
+(sensitivity / specificity / accuracy / HVR), explores DVFS operating
+points, and provides the empirical-regression baseline of §7.5 and the
+evaluation-cost model behind the 315x / 18x speedup claims.
+"""
+
+from repro.explore.dse import (
+    DesignPoint,
+    best_average_config,
+    best_config_per_workload,
+    evaluate_design_space,
+    error_statistics,
+)
+from repro.explore.pareto import (
+    ParetoMetrics,
+    hypervolume,
+    hvr,
+    pareto_front,
+    pareto_metrics,
+)
+from repro.explore.dvfs import (
+    best_under_power_cap,
+    explore_dvfs,
+    optimal_ed2p,
+)
+from repro.explore.empirical import EmpiricalModel
+from repro.explore.cost import (
+    EvaluationCost,
+    interval_model_cost,
+    micro_arch_independent_cost,
+    simulation_cost,
+    speedups,
+)
+
+__all__ = [
+    "DesignPoint",
+    "best_average_config",
+    "best_config_per_workload",
+    "evaluate_design_space",
+    "error_statistics",
+    "ParetoMetrics",
+    "hypervolume",
+    "hvr",
+    "pareto_front",
+    "pareto_metrics",
+    "best_under_power_cap",
+    "explore_dvfs",
+    "optimal_ed2p",
+    "EmpiricalModel",
+    "EvaluationCost",
+    "interval_model_cost",
+    "micro_arch_independent_cost",
+    "simulation_cost",
+    "speedups",
+]

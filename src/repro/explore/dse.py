@@ -1,0 +1,142 @@
+"""Design-space sweeps and error statistics (thesis §6.2.4, §6.3.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.machine import MachineConfig
+from repro.core.model import AnalyticalModel, ModelResult
+from repro.profiler.profile import ApplicationProfile
+
+
+@dataclass
+class DesignPoint:
+    """One (workload, configuration) evaluation."""
+
+    workload: str
+    config: MachineConfig
+    result: ModelResult
+
+    @property
+    def cpi(self) -> float:
+        return self.result.cpi
+
+    @property
+    def seconds(self) -> float:
+        return self.result.seconds
+
+    @property
+    def power_watts(self) -> float:
+        return self.result.power_watts
+
+    @property
+    def energy_joules(self) -> float:
+        return self.result.energy_joules
+
+
+def evaluate_design_space(
+    profiles: Sequence[ApplicationProfile],
+    configs: Sequence[MachineConfig],
+    model: Optional[AnalyticalModel] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Dict[str, List[DesignPoint]]:
+    """Evaluate every profile against every configuration.
+
+    This is the operation the micro-architecture independent profile makes
+    cheap: the profiles were collected once; each (workload, config)
+    evaluation is a pure model computation.
+    """
+    model = model or AnalyticalModel()
+    results: Dict[str, List[DesignPoint]] = {}
+    total = len(profiles) * len(configs)
+    done = 0
+    for profile in profiles:
+        points: List[DesignPoint] = []
+        for config in configs:
+            points.append(
+                DesignPoint(
+                    workload=profile.name,
+                    config=config,
+                    result=model.predict(profile, config),
+                )
+            )
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        results[profile.name] = points
+    return results
+
+
+def best_config_per_workload(
+    results: Dict[str, List[DesignPoint]],
+    metric: Callable[[DesignPoint], float] = lambda p: p.cpi,
+) -> Dict[str, DesignPoint]:
+    """The application-specific optimum per workload (thesis Fig 7.2).
+
+    ``metric`` is minimized; defaults to CPI.
+    """
+    return {
+        workload: min(points, key=metric)
+        for workload, points in results.items()
+    }
+
+
+def best_average_config(
+    results: Dict[str, List[DesignPoint]],
+    metric: Callable[[DesignPoint], float] = lambda p: p.cpi,
+) -> str:
+    """The general-purpose core: best average metric across workloads.
+
+    All workloads must have been evaluated over the same configuration
+    list (as :func:`evaluate_design_space` guarantees).  Returns the
+    winning configuration's name.
+    """
+    if not results:
+        raise ValueError("no design-space results")
+    workloads = list(results)
+    n_configs = len(results[workloads[0]])
+    for workload in workloads:
+        if len(results[workload]) != n_configs:
+            raise ValueError("workloads evaluated over different spaces")
+    averages = []
+    for index in range(n_configs):
+        total = sum(metric(results[w][index]) for w in workloads)
+        averages.append(total / len(workloads))
+    best = min(range(n_configs), key=lambda i: averages[i])
+    return results[workloads[0]][best].config.name
+
+
+@dataclass
+class ErrorStats:
+    """Absolute-relative-error summary across a set of pairs."""
+
+    mean: float
+    maximum: float
+    count: int
+    per_item: List[Tuple[str, float]] = field(default_factory=list)
+
+
+def error_statistics(
+    predicted: Sequence[float],
+    reference: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+) -> ErrorStats:
+    """Mean/max absolute relative error of predictions vs references."""
+    if len(predicted) != len(reference):
+        raise ValueError("length mismatch")
+    errors: List[Tuple[str, float]] = []
+    for index, (p, r) in enumerate(zip(predicted, reference)):
+        if r == 0:
+            continue
+        label = labels[index] if labels else str(index)
+        errors.append((label, abs(p - r) / abs(r)))
+    if not errors:
+        return ErrorStats(mean=0.0, maximum=0.0, count=0)
+    values = [e for _, e in errors]
+    return ErrorStats(
+        mean=sum(values) / len(values),
+        maximum=max(values),
+        count=len(values),
+        per_item=errors,
+    )

@@ -1,0 +1,106 @@
+"""DVFS exploration and power-constrained optimization (thesis §7.2-7.3).
+
+The analytical model's performance prediction is in cycles, so scaling
+frequency (and the DVFS rail voltage) re-prices the same cycle count in
+seconds and watts; memory latency in *cycles* scales with frequency
+because DRAM time is constant in nanoseconds.  For simplicity -- and like
+the thesis' DVFS study -- we re-evaluate the model per operating point
+with a frequency-scaled DRAM latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.machine import DVFSPoint, MachineConfig, dvfs_points
+from repro.core.model import AnalyticalModel, ModelResult
+from repro.profiler.profile import ApplicationProfile
+
+
+@dataclass
+class DVFSResult:
+    """Model evaluation at one DVFS operating point."""
+
+    point: DVFSPoint
+    result: ModelResult
+
+    @property
+    def seconds(self) -> float:
+        return self.result.seconds
+
+    @property
+    def power_watts(self) -> float:
+        return self.result.power_watts
+
+    @property
+    def energy_joules(self) -> float:
+        return self.result.energy_joules
+
+    @property
+    def edp(self) -> float:
+        return self.result.edp
+
+    @property
+    def ed2p(self) -> float:
+        return self.result.ed2p
+
+
+def config_at(
+    base: MachineConfig, point: DVFSPoint
+) -> MachineConfig:
+    """The base machine re-clocked to one DVFS point.
+
+    DRAM latency is constant in wall-clock time, so its cycle count scales
+    with frequency.
+    """
+    scale = point.frequency_ghz / base.frequency_ghz
+    return replace(
+        base,
+        name=f"{base.name}@{point.frequency_ghz:.2f}GHz",
+        frequency_ghz=point.frequency_ghz,
+        vdd=point.vdd,
+        dram_latency=max(1, int(round(base.dram_latency * scale))),
+        bus_transfer_cycles=max(
+            1, int(round(base.bus_transfer_cycles * scale))
+        ),
+    )
+
+
+def explore_dvfs(
+    profile: ApplicationProfile,
+    base: MachineConfig,
+    points: Optional[Sequence[DVFSPoint]] = None,
+    model: Optional[AnalyticalModel] = None,
+) -> List[DVFSResult]:
+    """Evaluate the model at each DVFS point (Table 7.2 / Fig 7.3)."""
+    model = model or AnalyticalModel()
+    points = points or dvfs_points()
+    results: List[DVFSResult] = []
+    for point in points:
+        config = config_at(base, point)
+        results.append(DVFSResult(point=point,
+                                  result=model.predict(profile, config)))
+    return results
+
+
+def optimal_ed2p(results: Sequence[DVFSResult]) -> DVFSResult:
+    """The ED^2P-minimizing operating point (Fig 7.3)."""
+    if not results:
+        raise ValueError("no DVFS results")
+    return min(results, key=lambda r: r.ed2p)
+
+
+def best_under_power_cap(
+    candidates: Sequence[Tuple[MachineConfig, ModelResult]],
+    power_cap_watts: float,
+) -> Optional[Tuple[MachineConfig, ModelResult]]:
+    """Fastest design whose predicted power fits the cap (Table 7.1)."""
+    feasible = [
+        (config, result)
+        for config, result in candidates
+        if result.power_watts <= power_cap_watts
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda item: item[1].seconds)

@@ -1,0 +1,146 @@
+"""Pareto frontier extraction and filtering metrics (thesis §7.4).
+
+A design is Pareto-optimal when no other design is at least as good on
+both objectives (delay, power) and strictly better on one.  The thesis
+scores the *predicted* frontier against the *true* (simulated) frontier
+with four metrics:
+
+* **sensitivity** -- fraction of truly optimal designs the prediction
+  found (recall);
+* **specificity** -- fraction of truly non-optimal designs the prediction
+  correctly excluded;
+* **accuracy** -- overall fraction classified correctly;
+* **HVR** (hypervolume ratio, Fig 7.8) -- the hypervolume dominated by
+  the *true* points selected by the prediction divided by the hypervolume
+  of the full true frontier; close to 1 means the predicted selection
+  covers the whole interesting range even if individual picks differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+Point = Tuple[float, float]  # (delay-like, power-like): lower is better
+
+
+def pareto_front(points: Sequence[Point]) -> List[int]:
+    """Indices of the non-dominated points (both objectives minimized).
+
+    Ties: duplicated coordinates are all kept (they dominate nothing and
+    are not strictly dominated).
+    """
+    indices: List[int] = []
+    for i, (x_i, y_i) in enumerate(points):
+        dominated = False
+        for j, (x_j, y_j) in enumerate(points):
+            if j == i:
+                continue
+            if (
+                x_j <= x_i and y_j <= y_i
+                and (x_j < x_i or y_j < y_i)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            indices.append(i)
+    return indices
+
+
+def hypervolume(points: Sequence[Point], reference: Point) -> float:
+    """2-D hypervolume dominated by ``points`` w.r.t. ``reference``.
+
+    Standard sweep: sort by x, accumulate rectangles up to the reference
+    point (both objectives minimized; reference must be >= all points).
+    """
+    clipped = [
+        (x, y) for x, y in points if x <= reference[0] and y <= reference[1]
+    ]
+    if not clipped:
+        return 0.0
+    # Keep the staircase: sort by x ascending; y must descend.
+    clipped.sort()
+    staircase: List[Point] = []
+    best_y = float("inf")
+    for x, y in clipped:
+        if y < best_y:
+            staircase.append((x, y))
+            best_y = y
+    volume = 0.0
+    prev_x = reference[0]
+    for x, y in reversed(staircase):
+        volume += (prev_x - x) * (reference[1] - y)
+        prev_x = x
+    return volume
+
+
+def hvr(
+    true_points: Sequence[Point],
+    selected_true_points: Sequence[Point],
+    reference: Point = None,
+) -> float:
+    """Hypervolume ratio (Fig 7.8).
+
+    ``selected_true_points`` are the *true* coordinates of the designs the
+    prediction picked; their dominated hypervolume is compared with the
+    full true frontier's.
+    """
+    if reference is None:
+        xs = [p[0] for p in true_points]
+        ys = [p[1] for p in true_points]
+        reference = (max(xs) * 1.1, max(ys) * 1.1)
+    denominator = hypervolume(true_points, reference)
+    if denominator == 0.0:
+        return 1.0
+    return hypervolume(selected_true_points, reference) / denominator
+
+
+@dataclass
+class ParetoMetrics:
+    """The four filtering-quality metrics of thesis §7.4."""
+
+    sensitivity: float
+    specificity: float
+    accuracy: float
+    hvr: float
+    true_front_size: int
+    predicted_front_size: int
+
+
+def pareto_metrics(
+    true_points: Sequence[Point],
+    predicted_points: Sequence[Point],
+) -> ParetoMetrics:
+    """Score a predicted frontier against the true one.
+
+    ``true_points[i]`` and ``predicted_points[i]`` must describe the same
+    design (same index).  The predicted frontier is computed on predicted
+    coordinates and then evaluated in true coordinates.
+    """
+    if len(true_points) != len(predicted_points):
+        raise ValueError("point lists must align by design index")
+    n = len(true_points)
+    true_front: Set[int] = set(pareto_front(true_points))
+    predicted_front: Set[int] = set(pareto_front(predicted_points))
+
+    tp = len(true_front & predicted_front)
+    fn = len(true_front - predicted_front)
+    fp = len(predicted_front - true_front)
+    tn = n - tp - fn - fp
+
+    sensitivity = tp / (tp + fn) if (tp + fn) else 1.0
+    specificity = tn / (tn + fp) if (tn + fp) else 1.0
+    accuracy = (tp + tn) / n if n else 1.0
+
+    selected_true_coordinates = [true_points[i] for i in predicted_front]
+    all_true_front_coordinates = [true_points[i] for i in true_front]
+    ratio = hvr(all_true_front_coordinates, selected_true_coordinates)
+
+    return ParetoMetrics(
+        sensitivity=sensitivity,
+        specificity=specificity,
+        accuracy=accuracy,
+        hvr=ratio,
+        true_front_size=len(true_front),
+        predicted_front_size=len(predicted_front),
+    )

@@ -1,0 +1,45 @@
+"""Branch prediction substrate and micro-architecture independent inputs.
+
+Contains functional branch predictor simulators (used for validation and
+for training the entropy model, thesis Fig 3.8) and the linear branch
+entropy metric plus the entropy -> misprediction-rate linear model
+(thesis §3.5).
+"""
+
+from repro.frontend.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    GAgPredictor,
+    GApPredictor,
+    GsharePredictor,
+    PApPredictor,
+    TournamentPredictor,
+    make_predictor,
+    simulate_predictor,
+)
+from repro.frontend.entropy import (
+    BranchEntropyProfile,
+    EntropyMissRateModel,
+    linear_entropy,
+    profile_branch_entropy,
+    train_entropy_model,
+)
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "GAgPredictor",
+    "GApPredictor",
+    "GsharePredictor",
+    "PApPredictor",
+    "TournamentPredictor",
+    "make_predictor",
+    "simulate_predictor",
+    "BranchEntropyProfile",
+    "EntropyMissRateModel",
+    "linear_entropy",
+    "profile_branch_entropy",
+    "train_entropy_model",
+]

@@ -1,0 +1,207 @@
+"""Dependence chain profiling: AP, ABP and CP (thesis §3.3, Alg 3.1).
+
+For a window (reorder buffer) of instructions, the chain length of an
+instruction is the number of instructions on the longest producer chain
+leading up to and including it (an instruction with no in-window producers
+has length 1).  Three statistics summarize a window:
+
+* **AP** (average path): mean chain length over all instructions;
+* **ABP** (average branch path): mean chain length over branches only;
+* **CP** (critical path): the maximum chain length.
+
+Two implementations are provided:
+
+* :func:`chain_lengths_exact` slides the window one instruction at a time
+  (Algorithm 3.1 verbatim, O(N*B)); used for validation and small inputs.
+* :func:`chain_lengths_stepped` steps the window (non-overlapping), O(N);
+  the production profiler uses this, trading the thesis' sliding window
+  for speed the same way its stride-MLP model does (§4.5: "sliding versus
+  stepping ... gave similar results").
+
+Chain lengths are profiled over a grid of window sizes and interpolated to
+arbitrary ROB sizes with the thesis' logarithmic fit (§5.2, Eq 5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa import Instruction
+
+#: Default grid of profiled window sizes (thesis: 16..256 step 16).
+DEFAULT_ROB_GRID: Tuple[int, ...] = tuple(range(16, 257, 16))
+
+
+def _window_depths(window: Sequence[Instruction]) -> List[int]:
+    """Chain length for each instruction of one window (register deps)."""
+    depths: List[int] = []
+    last_writer: Dict[int, int] = {}
+    for position, instr in enumerate(window):
+        depth = 0
+        for src in (instr.src1, instr.src2):
+            if src >= 0:
+                producer = last_writer.get(src)
+                if producer is not None:
+                    depth = max(depth, depths[producer])
+        depths.append(depth + 1)
+        if instr.dst >= 0:
+            last_writer[instr.dst] = position
+    return depths
+
+
+@dataclass
+class ChainStats:
+    """AP/ABP/CP for one window size."""
+
+    ap: float
+    abp: float
+    cp: float
+
+
+def chain_lengths_exact(
+    instructions: Sequence[Instruction], window_size: int
+) -> ChainStats:
+    """Algorithm 3.1: slide a window one instruction at a time.
+
+    Windows are every contiguous span of ``window_size`` instructions (the
+    thesis' buffer after it first fills).  ABP averages only over windows
+    containing at least one branch.
+    """
+    n = len(instructions)
+    if n == 0:
+        return ChainStats(0.0, 0.0, 0.0)
+    size = min(window_size, n)
+    ap_sum = 0.0
+    abp_sum = 0.0
+    cp_sum = 0.0
+    windows = 0
+    branch_windows = 0
+    for start in range(0, n - size + 1):
+        window = instructions[start:start + size]
+        depths = _window_depths(window)
+        ap_sum += sum(depths) / size
+        branch_depths = [
+            depth for depth, instr in zip(depths, window) if instr.is_branch
+        ]
+        if branch_depths:
+            abp_sum += sum(branch_depths) / len(branch_depths)
+            branch_windows += 1
+        cp_sum += max(depths)
+        windows += 1
+    return ChainStats(
+        ap=ap_sum / windows,
+        abp=abp_sum / branch_windows if branch_windows else 0.0,
+        cp=cp_sum / windows,
+    )
+
+
+def chain_lengths_stepped(
+    instructions: Sequence[Instruction], window_size: int
+) -> ChainStats:
+    """Stepped-window variant: O(N) per window size."""
+    n = len(instructions)
+    if n == 0:
+        return ChainStats(0.0, 0.0, 0.0)
+    ap_sum = 0.0
+    abp_sum = 0.0
+    cp_sum = 0.0
+    windows = 0
+    branch_windows = 0
+    for start in range(0, n, window_size):
+        window = instructions[start:start + window_size]
+        if len(window) < max(2, window_size // 4) and windows > 0:
+            break  # skip a tiny ragged tail; it skews the averages
+        depths = _window_depths(window)
+        ap_sum += sum(depths) / len(window)
+        branch_depths = [
+            depth for depth, instr in zip(depths, window) if instr.is_branch
+        ]
+        if branch_depths:
+            abp_sum += sum(branch_depths) / len(branch_depths)
+            branch_windows += 1
+        cp_sum += max(depths)
+        windows += 1
+    return ChainStats(
+        ap=ap_sum / windows,
+        abp=abp_sum / branch_windows if branch_windows else 0.0,
+        cp=cp_sum / windows,
+    )
+
+
+@dataclass
+class ChainProfile:
+    """One chain statistic over the profiled window-size grid.
+
+    ``at(rob)`` interpolates between profiled sizes with the logarithmic
+    fit of thesis Eq 5.2 (``length = a + b * log(ROB)``), fitted segment
+    by segment as the thesis does (§5.2: per-pair fits beat a global fit).
+    """
+
+    values: Dict[int, float] = field(default_factory=dict)
+
+    def at(self, rob: int) -> float:
+        if not self.values:
+            return 1.0
+        sizes = sorted(self.values)
+        if rob in self.values:
+            return self.values[rob]
+        if rob <= sizes[0]:
+            low, high = sizes[0], sizes[1] if len(sizes) > 1 else sizes[0]
+        elif rob >= sizes[-1]:
+            low = sizes[-2] if len(sizes) > 1 else sizes[-1]
+            high = sizes[-1]
+        else:
+            high = min(s for s in sizes if s > rob)
+            low = max(s for s in sizes if s < rob)
+        if low == high:
+            return self.values[low]
+        v_low, v_high = self.values[low], self.values[high]
+        b = (v_high - v_low) / (math.log(high) - math.log(low))
+        a = v_low - b * math.log(low)
+        value = a + b * math.log(max(rob, 1))
+        return max(value, 0.0)
+
+
+@dataclass
+class DependenceChains:
+    """AP/ABP/CP chain profiles over the window grid."""
+
+    ap: ChainProfile = field(default_factory=ChainProfile)
+    abp: ChainProfile = field(default_factory=ChainProfile)
+    cp: ChainProfile = field(default_factory=ChainProfile)
+    grid: Tuple[int, ...] = DEFAULT_ROB_GRID
+
+    def merge_weighted(
+        self, others: Sequence["DependenceChains"], weights: Sequence[float]
+    ) -> None:
+        """Set this profile to the weighted mean of ``others``."""
+        total = sum(weights)
+        if total == 0:
+            return
+        for attr in ("ap", "abp", "cp"):
+            merged: Dict[int, float] = {}
+            for other, weight in zip(others, weights):
+                profile: ChainProfile = getattr(other, attr)
+                for size, value in profile.values.items():
+                    merged[size] = merged.get(size, 0.0) + weight * value
+            getattr(self, attr).values = {
+                size: value / total for size, value in merged.items()
+            }
+
+
+def profile_dependence_chains(
+    instructions: Sequence[Instruction],
+    grid: Sequence[int] = DEFAULT_ROB_GRID,
+    exact: bool = False,
+) -> DependenceChains:
+    """Profile AP/ABP/CP over a window-size grid."""
+    measure = chain_lengths_exact if exact else chain_lengths_stepped
+    chains = DependenceChains(grid=tuple(grid))
+    for size in grid:
+        stats = measure(instructions, size)
+        chains.ap.values[size] = stats.ap
+        chains.abp.values[size] = stats.abp
+        chains.cp.values[size] = stats.cp
+    return chains

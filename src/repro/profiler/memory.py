@@ -1,0 +1,258 @@
+"""Memory-behaviour distributions (thesis §4.4--4.5, §5.4).
+
+Two families of statistics feed the MLP models:
+
+* **Cold-miss window distributions** (cold-miss MLP model, §4.4): over the
+  *full* instruction stream -- cold misses cannot be sampled (§5.4.2) --
+  record, for a grid of window (ROB) sizes and cache-line sizes, how many
+  first-touch lines fall in each window.
+* **Per-micro-trace static-load distributions** (stride MLP model, §4.5):
+  load spacing (first position + recurrence gaps), stride distributions,
+  inter-load dependence distribution f(l), and per-load local reuse
+  distances.  These are enough to rebuild a *virtual instruction stream*
+  over which the abstract MLP model hovers.
+
+Stride classification follows Fig 4.7: single-stride, filtered 1..4-stride
+(cumulative cutoffs 60/70/80/90%), random-strided and unique loads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa import Instruction
+
+DEFAULT_LINE_SIZES: Tuple[int, ...] = (32, 64, 128)
+DEFAULT_COLD_ROB_GRID: Tuple[int, ...] = (32, 64, 128, 192, 256)
+
+#: Cumulative-frequency cutoffs for classifying 1..4-strided loads.
+STRIDE_CUTOFFS: Tuple[float, ...] = (0.60, 0.70, 0.80, 0.90)
+
+
+@dataclass
+class ColdMissProfile:
+    """Cold misses binned into instruction windows, full-stream.
+
+    ``per_window[(line_size, rob)]`` is the average number of cold misses
+    per window *containing at least one cold miss*; ``window_fraction``
+    is the fraction of windows with at least one.  ``total[line_size]``
+    counts all cold misses.
+    """
+
+    per_window: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    window_fraction: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    total: Dict[int, int] = field(default_factory=dict)
+    num_instructions: int = 0
+
+    def cold_misses_per_occupied_window(
+        self, rob: int, line_size: int = 64
+    ) -> float:
+        """m_cold_LLC(ROB): thesis §4.4, nearest profiled sizes."""
+        if not self.per_window:
+            return 0.0
+        keys = list(self.per_window)
+        best = min(
+            keys,
+            key=lambda k: (abs(k[0] - line_size), abs(k[1] - rob)),
+        )
+        return self.per_window[best]
+
+
+def profile_cold_misses(
+    instructions: Sequence[Instruction],
+    rob_grid: Sequence[int] = DEFAULT_COLD_ROB_GRID,
+    line_sizes: Sequence[int] = DEFAULT_LINE_SIZES,
+) -> ColdMissProfile:
+    """Profile first-touch (cold) misses over the full stream."""
+    profile = ColdMissProfile(num_instructions=len(instructions))
+    for line_size in line_sizes:
+        seen: set = set()
+        cold_indices: List[int] = []
+        for index, instr in enumerate(instructions):
+            if not instr.is_mem:
+                continue
+            line = instr.addr // line_size
+            if line not in seen:
+                seen.add(line)
+                cold_indices.append(index)
+        profile.total[line_size] = len(cold_indices)
+        for rob in rob_grid:
+            windows = max(1, (len(instructions) + rob - 1) // rob)
+            counts = Counter(index // rob for index in cold_indices)
+            occupied = len(counts)
+            if occupied:
+                average = sum(counts.values()) / occupied
+            else:
+                average = 0.0
+            profile.per_window[(line_size, rob)] = average
+            profile.window_fraction[(line_size, rob)] = occupied / windows
+    return profile
+
+
+@dataclass
+class StaticLoadProfile:
+    """Distributions of one static load inside one micro-trace."""
+
+    pc: int
+    first_position: int
+    positions: List[int] = field(default_factory=list)
+    strides: Counter = field(default_factory=Counter)
+    local_reuse: List[int] = field(default_factory=list)
+    dst: int = -1
+    depth_sum: int = 0  # sum of load-chain depths l over occurrences
+
+    @property
+    def occurrences(self) -> int:
+        return len(self.positions)
+
+    @property
+    def mean_depth(self) -> float:
+        """Average position l of this load on its load dependence chain."""
+        if not self.positions:
+            return 1.0
+        return self.depth_sum / len(self.positions)
+
+    @property
+    def mean_gap(self) -> float:
+        if len(self.positions) < 2:
+            return 0.0
+        gaps = [
+            b - a for a, b in zip(self.positions, self.positions[1:])
+        ]
+        return sum(gaps) / len(gaps)
+
+
+def classify_strides(profile: StaticLoadProfile) -> Tuple[str, List[int]]:
+    """Classify a static load's access pattern (thesis §4.5, Fig 4.7).
+
+    Returns ``(category, dominant_strides)`` where category is one of
+    ``STRIDE``, ``FILTER-1`` .. ``FILTER-4``, ``RANDOM``, ``UNIQUE``.
+    The simplest pattern passing its cumulative cutoff wins.
+    """
+    if profile.occurrences <= 1:
+        return "UNIQUE", []
+    strides = profile.strides
+    total = sum(strides.values())
+    if total == 0:
+        return "UNIQUE", []
+    ranked = strides.most_common()
+    if len(ranked) == 1:
+        return "STRIDE", [ranked[0][0]]
+    cumulative = 0.0
+    chosen: List[int] = []
+    for k, (stride, count) in enumerate(ranked[:4]):
+        cumulative += count / total
+        chosen.append(stride)
+        if cumulative >= STRIDE_CUTOFFS[k]:
+            return f"FILTER-{k + 1}", chosen
+    return "RANDOM", []
+
+
+@dataclass
+class MicroTraceMemoryProfile:
+    """Memory distributions of one micro-trace (stride-MLP inputs)."""
+
+    static_loads: Dict[int, StaticLoadProfile] = field(default_factory=dict)
+    load_dependence: Counter = field(default_factory=Counter)  # f(l)
+    load_positions: List[int] = field(default_factory=list)
+    store_positions: List[int] = field(default_factory=list)
+    length: int = 0
+
+    @property
+    def num_loads(self) -> int:
+        return len(self.load_positions)
+
+    def load_dependence_distribution(self) -> Dict[int, float]:
+        """Normalized f(l): P(a load is the l-th load on its chain)."""
+        total = sum(self.load_dependence.values())
+        if total == 0:
+            return {}
+        return {
+            depth: count / total
+            for depth, count in sorted(self.load_dependence.items())
+        }
+
+    def independent_load_fraction(self) -> float:
+        """Fraction of loads heading a load-dependence chain (l == 1)."""
+        distribution = self.load_dependence_distribution()
+        return distribution.get(1, 0.0)
+
+    def average_loads_per_path(self) -> float:
+        """lop(ROB) proxy: mean l over loads (thesis §4.8)."""
+        total = sum(self.load_dependence.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(
+            depth * count for depth, count in self.load_dependence.items()
+        )
+        return weighted / total
+
+    def stride_categories(self) -> Dict[str, int]:
+        """Histogram of stride categories over static loads."""
+        categories: Counter = Counter()
+        for load in self.static_loads.values():
+            category, _ = classify_strides(load)
+            categories[category] += 1
+        return dict(categories)
+
+
+def profile_micro_trace_memory(
+    micro_trace: Sequence[Instruction],
+    line_size: int = 64,
+) -> MicroTraceMemoryProfile:
+    """Collect the stride-MLP distributions for one micro-trace.
+
+    One forward pass maintains:
+
+    * per-static-load position/address history (spacing + strides);
+    * per-line last-access index for local reuse distances;
+    * register dataflow depths counting only loads, giving f(l)
+      (thesis Fig 4.5: the l-th load on a dependence chain).
+    """
+    profile = MicroTraceMemoryProfile(length=len(micro_trace))
+    last_address: Dict[int, int] = {}
+    last_line_access: Dict[int, int] = {}
+    load_depth_of_reg: Dict[int, int] = {}
+    access_index = 0
+
+    for position, instr in enumerate(micro_trace):
+        # Register dataflow load depth.
+        depth = 0
+        for src in (instr.src1, instr.src2):
+            if src >= 0:
+                depth = max(depth, load_depth_of_reg.get(src, 0))
+        if instr.is_load:
+            depth += 1
+            profile.load_dependence[depth] += 1
+            profile.load_positions.append(position)
+
+            load = profile.static_loads.get(instr.pc)
+            if load is None:
+                load = StaticLoadProfile(
+                    pc=instr.pc, first_position=position, dst=instr.dst
+                )
+                profile.static_loads[instr.pc] = load
+            load.depth_sum += depth
+            previous_addr = last_address.get(instr.pc)
+            if previous_addr is not None:
+                load.strides[instr.addr - previous_addr] += 1
+            last_address[instr.pc] = instr.addr
+            load.positions.append(position)
+
+            line = instr.addr // line_size
+            previous_access = last_line_access.get(line)
+            if previous_access is not None:
+                load.local_reuse.append(access_index - previous_access - 1)
+            last_line_access[line] = access_index
+            access_index += 1
+        elif instr.is_store:
+            profile.store_positions.append(position)
+            line = instr.addr // line_size
+            last_line_access[line] = access_index
+            access_index += 1
+
+        if instr.dst >= 0:
+            load_depth_of_reg[instr.dst] = depth
+    return profile

@@ -1,0 +1,95 @@
+"""Micro-op instruction mix profiling (thesis §5.1, Fig 5.2, Table 2.1).
+
+The mix drives the base-component model: the uop count sets the unit of
+work (§3.2) and the per-kind frequencies feed the issue-port scheduling
+and functional-unit contention terms of the effective dispatch rate
+(§3.4) plus the activity factors of the power model (§3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.isa import Instruction, UopKind, crack
+
+
+@dataclass
+class UopMix:
+    """Micro-op histogram over some instruction span."""
+
+    counts: Dict[UopKind, int] = field(default_factory=dict)
+    num_instructions: int = 0
+    num_uops: int = 0
+
+    def add_instruction(self, instr: Instruction) -> None:
+        self.num_instructions += 1
+        for kind in crack(instr.op):
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            self.num_uops += 1
+
+    def merge(self, other: "UopMix") -> None:
+        self.num_instructions += other.num_instructions
+        self.num_uops += other.num_uops
+        for kind, count in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+
+    def fraction(self, kind: UopKind) -> float:
+        """Fraction of uops of one kind."""
+        if self.num_uops == 0:
+            return 0.0
+        return self.counts.get(kind, 0) / self.num_uops
+
+    def fractions(self) -> Dict[UopKind, float]:
+        if self.num_uops == 0:
+            return {}
+        return {k: c / self.num_uops for k, c in self.counts.items()}
+
+    @property
+    def uops_per_instruction(self) -> float:
+        if self.num_instructions == 0:
+            return 0.0
+        return self.num_uops / self.num_instructions
+
+    @property
+    def load_fraction(self) -> float:
+        return self.fraction(UopKind.LOAD)
+
+    @property
+    def store_fraction(self) -> float:
+        return self.fraction(UopKind.STORE)
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.fraction(UopKind.BRANCH)
+
+    def average_latency(self, latencies: Mapping[UopKind, float]) -> float:
+        """Execution-weighted average uop latency.
+
+        The latency table comes from the machine configuration (it embeds
+        the average load latency including L1/L2 hits, §3.3).
+        """
+        if self.num_uops == 0:
+            return 1.0
+        total = sum(
+            count * latencies.get(kind, 1.0)
+            for kind, count in self.counts.items()
+        )
+        return total / self.num_uops
+
+    def scaled(self, factor: float) -> "UopMix":
+        """A copy with all counts scaled (for sample extrapolation)."""
+        scaled_mix = UopMix(
+            counts={k: int(round(c * factor)) for k, c in self.counts.items()},
+            num_instructions=int(round(self.num_instructions * factor)),
+            num_uops=int(round(self.num_uops * factor)),
+        )
+        return scaled_mix
+
+
+def profile_mix(instructions: Iterable[Instruction]) -> UopMix:
+    """Profile the uop mix of an instruction span."""
+    mix = UopMix()
+    for instr in instructions:
+        mix.add_instruction(instr)
+    return mix

@@ -1,0 +1,284 @@
+"""The application profile: everything the analytical model consumes.
+
+``profile_application`` makes one pass over a trace (plus cheap auxiliary
+passes) and returns an :class:`ApplicationProfile`:
+
+* global statistics: uop mix, dependence chains, linear branch entropy,
+  reuse-distance profile (loads/stores typed), instruction-stream reuse
+  profile, cold-miss window distributions;
+* per-micro-trace statistics (thesis §5, TC'16 per-sample evaluation):
+  local mix, local chains, stride/spacing/f(l) memory distributions, and
+  the micro-trace's typed reuse histogram measured against full history.
+
+The profile is micro-architecture independent: nothing in it depends on a
+cache size, predictor or ROB; the model derives all inputs for any machine
+configuration from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.entropy import (
+    BranchEntropyProfile,
+    profile_branch_entropy,
+)
+from repro.isa import Instruction
+from repro.profiler.dependences import (
+    DEFAULT_ROB_GRID,
+    DependenceChains,
+    profile_dependence_chains,
+)
+from repro.profiler.memory import (
+    ColdMissProfile,
+    MicroTraceMemoryProfile,
+    profile_cold_misses,
+    profile_micro_trace_memory,
+)
+from repro.profiler.mix import UopMix, profile_mix
+from repro.profiler.sampling import SamplingConfig, iter_micro_traces
+from repro.statstack.model import StatStack
+from repro.statstack.reuse import ReuseProfile
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class MicroTraceProfile:
+    """All statistics of one profiled micro-trace."""
+
+    start: int
+    length: int
+    mix: UopMix
+    chains: DependenceChains
+    memory: MicroTraceMemoryProfile
+    load_reuse: Dict[int, int] = field(default_factory=dict)
+    store_reuse: Dict[int, int] = field(default_factory=dict)
+    cold_loads: int = 0
+    cold_stores: int = 0
+    #: Per-static-load attributed reuse: pc -> {distance: count} and
+    #: pc -> cold count, measured against full-stream history.  Gives the
+    #: stride-MLP virtual stream exact per-load miss probabilities.
+    load_reuse_by_pc: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    cold_by_pc: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ApplicationProfile:
+    """Micro-architecture independent profile of one application."""
+
+    name: str
+    num_instructions: int
+    sampling: SamplingConfig
+    mix: UopMix
+    chains: DependenceChains
+    branch_entropy: BranchEntropyProfile
+    reuse: ReuseProfile
+    instruction_reuse: ReuseProfile
+    cold: ColdMissProfile
+    micro_traces: List[MicroTraceProfile] = field(default_factory=list)
+    _statstack: Optional[StatStack] = None
+    _instruction_statstack: Optional[StatStack] = None
+
+    @property
+    def sample_fraction(self) -> float:
+        """Fraction of instructions inside micro-traces."""
+        if self.num_instructions == 0:
+            return 1.0
+        profiled = sum(mt.length for mt in self.micro_traces)
+        return profiled / self.num_instructions
+
+    def statstack(self) -> StatStack:
+        """The (cached) data-stream StatStack model."""
+        if self._statstack is None:
+            self._statstack = StatStack(self.reuse)
+        return self._statstack
+
+    def instruction_statstack(self) -> StatStack:
+        """The (cached) instruction-stream StatStack model."""
+        if self._instruction_statstack is None:
+            self._instruction_statstack = StatStack(self.instruction_reuse)
+        return self._instruction_statstack
+
+
+def _global_reuse_pass(
+    instructions: Sequence[Instruction],
+    sampling: SamplingConfig,
+    line_size: int,
+) -> Tuple[ReuseProfile, Dict[int, MicroTraceProfile]]:
+    """Collect the global data reuse profile and attribute reuses.
+
+    Distances are measured over the *full* access stream (so micro-trace
+    accesses see cross-window history, as StatStack's burst sampling
+    does); each recorded reuse/cold access whose closing access falls in a
+    micro-trace is also added to that micro-trace's local histograms.
+    """
+    profile = ReuseProfile(line_size=line_size)
+    per_window: Dict[int, Dict[str, object]] = {}
+    last_access: Dict[int, int] = {}
+    access_index = 0
+    window_length = sampling.window_length
+    micro_length = sampling.micro_trace_length
+
+    for position, instr in enumerate(instructions):
+        if not instr.is_mem:
+            continue
+        is_write = instr.is_store
+        if is_write:
+            profile.store_accesses += 1
+        else:
+            profile.load_accesses += 1
+        line = instr.addr // line_size
+        previous = last_access.get(line)
+
+        in_micro = position % window_length < micro_length
+        window_id = position // window_length
+        local = None
+        if in_micro:
+            local = per_window.setdefault(
+                window_id,
+                {"load": {}, "store": {}, "cold_loads": 0, "cold_stores": 0,
+                 "load_pc": {}, "cold_pc": {}},
+            )
+
+        profile.sampled_accesses += 1
+        if previous is None:
+            if is_write:
+                profile.cold_stores += 1
+                if local is not None:
+                    local["cold_stores"] += 1
+            else:
+                profile.cold_loads += 1
+                if local is not None:
+                    local["cold_loads"] += 1
+                    local["cold_pc"][instr.pc] = (
+                        local["cold_pc"].get(instr.pc, 0) + 1
+                    )
+        else:
+            distance = access_index - previous - 1
+            profile.histogram[distance] = (
+                profile.histogram.get(distance, 0) + 1
+            )
+            typed = (
+                profile.store_histogram if is_write else profile.load_histogram
+            )
+            typed[distance] = typed.get(distance, 0) + 1
+            if local is not None:
+                bucket = local["store" if is_write else "load"]
+                bucket[distance] = bucket.get(distance, 0) + 1
+                if not is_write:
+                    pc_bucket = local["load_pc"].setdefault(instr.pc, {})
+                    pc_bucket[distance] = pc_bucket.get(distance, 0) + 1
+        last_access[line] = access_index
+        access_index += 1
+
+    micro_profiles: Dict[int, MicroTraceProfile] = {}
+    for window_id, local in per_window.items():
+        micro_profiles[window_id] = MicroTraceProfile(
+            start=window_id * window_length,
+            length=0,
+            mix=UopMix(),
+            chains=DependenceChains(),
+            memory=MicroTraceMemoryProfile(),
+            load_reuse=local["load"],
+            store_reuse=local["store"],
+            cold_loads=local["cold_loads"],
+            cold_stores=local["cold_stores"],
+            load_reuse_by_pc=local["load_pc"],
+            cold_by_pc=local["cold_pc"],
+        )
+    return profile, micro_profiles
+
+
+def _instruction_reuse_pass(
+    instructions: Sequence[Instruction], line_size: int
+) -> ReuseProfile:
+    """Reuse profile over the instruction-fetch address stream."""
+    profile = ReuseProfile(line_size=line_size)
+    last_access: Dict[int, int] = {}
+    for index, instr in enumerate(instructions):
+        profile.load_accesses += 1
+        profile.sampled_accesses += 1
+        line = instr.pc // line_size
+        previous = last_access.get(line)
+        if previous is None:
+            profile.cold_loads += 1
+        else:
+            distance = index - previous - 1
+            profile.histogram[distance] = (
+                profile.histogram.get(distance, 0) + 1
+            )
+            profile.load_histogram[distance] = (
+                profile.load_histogram.get(distance, 0) + 1
+            )
+        last_access[line] = index
+    return profile
+
+
+def profile_application(
+    trace: Trace,
+    sampling: Optional[SamplingConfig] = None,
+    rob_grid: Sequence[int] = DEFAULT_ROB_GRID,
+    line_size: int = 64,
+    entropy_history_lengths: Sequence[int] = (4, 8, 12),
+) -> ApplicationProfile:
+    """Profile one application trace (the AIP's single profiling run)."""
+    sampling = sampling or SamplingConfig()
+    instructions = trace.instructions
+
+    reuse, micro_by_window = _global_reuse_pass(
+        instructions, sampling, line_size
+    )
+    instruction_reuse = _instruction_reuse_pass(instructions, line_size)
+    cold = profile_cold_misses(instructions)
+    branch_entropy = profile_branch_entropy(
+        instructions, entropy_history_lengths
+    )
+
+    micro_traces: List[MicroTraceProfile] = []
+    all_chains: List[DependenceChains] = []
+    weights: List[float] = []
+    global_mix = UopMix()
+
+    for start, micro in iter_micro_traces(instructions, sampling):
+        window_id = start // sampling.window_length
+        mix = profile_mix(micro)
+        chains = profile_dependence_chains(micro, grid=rob_grid)
+        memory = profile_micro_trace_memory(micro, line_size=line_size)
+
+        micro_profile = micro_by_window.get(window_id)
+        if micro_profile is None:
+            micro_profile = MicroTraceProfile(
+                start=start,
+                length=len(micro),
+                mix=mix,
+                chains=chains,
+                memory=memory,
+            )
+        else:
+            micro_profile.start = start
+            micro_profile.length = len(micro)
+            micro_profile.mix = mix
+            micro_profile.chains = chains
+            micro_profile.memory = memory
+        micro_traces.append(micro_profile)
+        global_mix.merge(mix)
+        all_chains.append(chains)
+        weights.append(len(micro))
+
+    micro_traces.sort(key=lambda mt: mt.start)
+    aggregate_chains = DependenceChains(grid=tuple(rob_grid))
+    aggregate_chains.merge_weighted(all_chains, weights)
+
+    return ApplicationProfile(
+        name=trace.name,
+        num_instructions=len(instructions),
+        sampling=sampling,
+        mix=global_mix,
+        chains=aggregate_chains,
+        branch_entropy=branch_entropy,
+        reuse=reuse,
+        instruction_reuse=instruction_reuse,
+        cold=cold,
+        micro_traces=micro_traces,
+    )

@@ -1,0 +1,17 @@
+"""Cycle-level reference simulator (the 'Sniper' stand-in).
+
+A trace-driven out-of-order timing model: dispatch bandwidth, ROB
+occupancy, issue-port and functional-unit contention, register dependence
+tracking, non-blocking caches with MSHRs, a shared memory bus, real branch
+predictors and an optional stride prefetcher.  It produces cycle counts,
+CPI stacks, per-window CPI traces and activity vectors -- the ground truth
+every accuracy experiment compares the analytical model against.
+"""
+
+from repro.simulator.simulator import (
+    SimulationResult,
+    Simulator,
+    simulate,
+)
+
+__all__ = ["SimulationResult", "Simulator", "simulate"]

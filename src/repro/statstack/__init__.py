@@ -1,0 +1,12 @@
+"""StatStack: statistical cache modeling from reuse distances.
+
+Thesis §4.2 (after Eklov & Hagersten): profile a (sampled) reuse-distance
+distribution once, transform it to stack distances, and query the miss
+ratio of *any* fully-associative LRU cache size -- the micro-architecture
+independent replacement for per-configuration cache simulation.
+"""
+
+from repro.statstack.reuse import ReuseProfile, collect_reuse_profile
+from repro.statstack.model import StatStack
+
+__all__ = ["ReuseProfile", "collect_reuse_profile", "StatStack"]

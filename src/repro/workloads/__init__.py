@@ -1,0 +1,40 @@
+"""Synthetic workload substrate (SPEC CPU 2006 substitute).
+
+The paper profiles SPEC CPU 2006 binaries with a Pin tool.  Neither the
+binaries nor Pin are available here, so this package provides parameterized
+synthetic trace generators whose traces exercise the same profile machinery:
+instruction mixes with CISC cracking, register dependence chains, strided /
+random / pointer-chasing memory behaviour, and branches with controllable
+predictability.
+"""
+
+from repro.workloads.trace import Trace, TraceStats
+from repro.workloads.generator import (
+    BranchSpec,
+    KernelSpec,
+    LoadSpec,
+    StoreSpec,
+    WorkloadSpec,
+    generate_trace,
+)
+from repro.workloads.suite import (
+    SUITE,
+    workload_names,
+    make_workload,
+    make_suite,
+)
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "BranchSpec",
+    "KernelSpec",
+    "LoadSpec",
+    "StoreSpec",
+    "WorkloadSpec",
+    "generate_trace",
+    "SUITE",
+    "workload_names",
+    "make_workload",
+    "make_suite",
+]

@@ -1,0 +1,113 @@
+"""Trace container and summary statistics.
+
+A :class:`Trace` is an in-memory dynamic instruction stream -- the unit of
+work every profiler and simulator in this package consumes.  Traces are
+immutable once built; all tools iterate over them without mutation so one
+trace can feed the profiler, the reference simulator and validation tools.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.isa import Instruction, MacroOp, UopKind, crack
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a trace (exact, unsampled)."""
+
+    num_instructions: int
+    num_uops: int
+    macro_mix: Dict[MacroOp, int]
+    uop_mix: Dict[UopKind, int]
+    num_branches: int
+    num_loads: int
+    num_stores: int
+
+    @property
+    def uops_per_instruction(self) -> float:
+        if self.num_instructions == 0:
+            return 0.0
+        return self.num_uops / self.num_instructions
+
+    def uop_fraction(self, kind: UopKind) -> float:
+        if self.num_uops == 0:
+            return 0.0
+        return self.uop_mix.get(kind, 0) / self.num_uops
+
+
+class Trace:
+    """An immutable dynamic instruction stream with a name and metadata."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        name: str = "anonymous",
+        seed: int = 0,
+    ) -> None:
+        self._instructions: List[Instruction] = list(instructions)
+        self.name = name
+        self.seed = seed
+        self._stats: TraceStats = None  # lazily computed
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(
+                self._instructions[index],
+                name=f"{self.name}[{index.start}:{index.stop}]",
+                seed=self.seed,
+            )
+        return self._instructions[index]
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self.name!r}, n={len(self)})"
+
+    @property
+    def instructions(self) -> Sequence[Instruction]:
+        return self._instructions
+
+    def stats(self) -> TraceStats:
+        """Compute (and cache) exact whole-trace statistics."""
+        if self._stats is None:
+            macro_mix: Counter = Counter()
+            uop_mix: Counter = Counter()
+            num_uops = 0
+            num_branches = 0
+            num_loads = 0
+            num_stores = 0
+            for instr in self._instructions:
+                macro_mix[instr.op] += 1
+                uops = crack(instr.op)
+                num_uops += len(uops)
+                for kind in uops:
+                    uop_mix[kind] += 1
+                if instr.is_branch:
+                    num_branches += 1
+                if instr.is_load:
+                    num_loads += 1
+                if instr.is_store:
+                    num_stores += 1
+            self._stats = TraceStats(
+                num_instructions=len(self._instructions),
+                num_uops=num_uops,
+                macro_mix=dict(macro_mix),
+                uop_mix=dict(uop_mix),
+                num_branches=num_branches,
+                num_loads=num_loads,
+                num_stores=num_stores,
+            )
+        return self._stats
+
+    def windows(self, window_size: int) -> Iterator["Trace"]:
+        """Yield consecutive window-sized sub-traces (last may be short)."""
+        for start in range(0, len(self), window_size):
+            yield self[start:start + window_size]

@@ -1,0 +1,68 @@
+"""CLI tests: every subcommand end-to-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "mcf" in out
+        assert len(out.strip().splitlines()) == 29
+
+
+class TestProfilePredictFlow:
+    def test_profile_then_predict(self, tmp_path, capsys):
+        path = str(tmp_path / "gamess.profile")
+        assert main(["profile", "gamess", "-o", path,
+                     "--instructions", "5000"]) == 0
+        assert main(["predict", path]) == 0
+        out = capsys.readouterr().out
+        assert "CPI:" in out and "power:" in out
+
+    def test_predict_with_overrides(self, tmp_path, capsys):
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        assert main(["predict", path, "--width", "2", "--rob", "64",
+                     "--llc-mb", "2", "--frequency", "1.6"]) == 0
+        out = capsys.readouterr().out
+        assert "1.60GHz" in out
+
+    def test_predict_mlp_model_choice(self, tmp_path, capsys):
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        assert main(["predict", path, "--mlp-model", "cold"]) == 0
+
+
+class TestSimulateCommand:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "gamess",
+                     "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out and "MPKI:" in out
+
+    def test_simulate_with_prefetch(self, capsys):
+        assert main(["simulate", "libquantum", "--instructions", "3000",
+                     "--prefetch"]) == 0
+
+
+class TestSweepCommand:
+    def test_sweep_limited(self, tmp_path, capsys):
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        assert main(["sweep", path, "--limit", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+
+
+class TestParser:
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_workload_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["profile", "doom", "-o",
+                  str(tmp_path / "x.profile")])

@@ -1,0 +1,180 @@
+"""Effective dispatch rate tests, including the thesis Table 3.1 mixes.
+
+Thesis §3.4 works through two 100-uop instruction mixes on a Nehalem-like
+machine (D = 4, ROB = 64, CP = 8, average latency 2): the first is
+load-port limited (Deff = 2.5, Eq 3.11), the second divide-unit limited
+(Deff = 2.0, Eq 3.12).  §3.3's Eq 3.8 gives Deff = 2.67 for a 16-entry
+ROB with a 6-deep critical path and unit latencies.
+"""
+
+import pytest
+
+from repro.core.dispatch import (
+    DispatchLimits,
+    effective_dispatch_rate,
+    schedule_ports,
+)
+from repro.core.machine import MachineConfig, nehalem_ports
+from repro.isa import UopKind
+from repro.profiler.dependences import ChainProfile, DependenceChains
+from repro.profiler.mix import UopMix
+
+
+def make_mix(counts):
+    mix = UopMix()
+    mix.counts = dict(counts)
+    mix.num_uops = sum(counts.values())
+    mix.num_instructions = mix.num_uops
+    return mix
+
+
+def make_chains(cp, abp=2.0, ap=2.0):
+    chains = DependenceChains()
+    grid = tuple(range(16, 257, 16))
+    chains.cp = ChainProfile(values={g: cp for g in grid})
+    chains.abp = ChainProfile(values={g: abp for g in grid})
+    chains.ap = ChainProfile(values={g: ap for g in grid})
+    return chains
+
+
+def thesis_config(divide_latency=5):
+    """Table 3.1 machine: loads/stores latency 2, FP mul 5, div 5."""
+    return MachineConfig(
+        dispatch_width=4,
+        rob_size=64,
+        ports=nehalem_ports(),
+        uop_latencies=(
+            (UopKind.INT_ALU, 1),
+            (UopKind.INT_MUL, 3),
+            (UopKind.FP_ALU, 3),
+            (UopKind.FP_MUL, 5),
+            (UopKind.DIV, divide_latency),
+            (UopKind.LOAD, 2),
+            (UopKind.STORE, 2),
+            (UopKind.BRANCH, 1),
+            (UopKind.MOVE, 1),
+        ),
+    )
+
+
+class TestThesisTable31:
+    """The two worked instruction mixes of thesis §3.4."""
+
+    MIX1 = {
+        UopKind.LOAD: 40,
+        UopKind.STORE: 20,
+        UopKind.INT_ALU: 20,
+        UopKind.FP_MUL: 10,
+        UopKind.BRANCH: 10,
+    }
+    MIX2 = {
+        UopKind.LOAD: 40,
+        UopKind.STORE: 20,
+        UopKind.INT_ALU: 20,
+        UopKind.DIV: 10,
+        UopKind.BRANCH: 10,
+    }
+
+    def test_mix1_port_schedule(self):
+        # Thesis activity vector [15, 15, 40, 20, 20, 10]: loads on P2,
+        # stores on P3/P4, FP mul on P0, branch on P5, ALU balanced over
+        # P0/P1 (our scheduler splits the 20 stores evenly over P3/P4
+        # where the thesis charges both ports per store; the binding port
+        # -- loads at 40 -- is identical).
+        activity = schedule_ports(self.MIX1, nehalem_ports())
+        assert activity[2] == pytest.approx(40)   # loads
+        assert activity[3] + activity[4] == pytest.approx(20)  # stores
+        assert activity[0] == pytest.approx(15)   # 10 FP mul + 5 ALU
+        assert activity[1] == pytest.approx(15)
+        assert activity[5] == pytest.approx(10)   # branches
+        assert max(activity) == pytest.approx(40)
+
+    def test_mix1_deff_is_2_5(self):
+        limits = effective_dispatch_rate(
+            make_mix(self.MIX1), make_chains(cp=8.0), thesis_config()
+        )
+        assert limits.effective() == pytest.approx(2.5, abs=0.05)
+
+    def test_mix1_limited_by_load_port(self):
+        limits = effective_dispatch_rate(
+            make_mix(self.MIX1), make_chains(cp=8.0), thesis_config()
+        )
+        assert limits.limiter() in ("functional_port", "functional_unit")
+
+    def test_mix2_deff_is_2_0(self):
+        # The non-pipelined divider drops Deff to 100*1/(10*5) = 2.
+        limits = effective_dispatch_rate(
+            make_mix(self.MIX2), make_chains(cp=8.0), thesis_config()
+        )
+        assert limits.effective() == pytest.approx(2.0, abs=0.05)
+
+    def test_mix2_limited_by_divider(self):
+        limits = effective_dispatch_rate(
+            make_mix(self.MIX2), make_chains(cp=8.0), thesis_config()
+        )
+        assert limits.limiter() == "functional_unit"
+
+
+class TestEquation38:
+    def test_rob16_cp6_unit_latency(self):
+        # Thesis Eq 3.8: Deff = min(4, 16 / (1 * 6)) = 2.67.
+        config = MachineConfig(
+            dispatch_width=4,
+            rob_size=16,
+            uop_latencies=tuple((k, 1) for k in UopKind),
+        )
+        mix = make_mix({UopKind.INT_ALU: 16})
+        limits = effective_dispatch_rate(mix, make_chains(cp=6.0), config)
+        assert limits.dependences == pytest.approx(16 / 6, abs=0.01)
+
+
+class TestScheduleProperties:
+    def test_total_activity_is_conserved(self):
+        counts = {UopKind.INT_ALU: 33, UopKind.LOAD: 21, UopKind.STORE: 11}
+        activity = schedule_ports(counts, nehalem_ports())
+        assert sum(activity) == pytest.approx(sum(counts.values()))
+
+    def test_single_port_kinds_fixed(self):
+        activity = schedule_ports({UopKind.LOAD: 50}, nehalem_ports())
+        assert activity[2] == pytest.approx(50)
+        assert sum(activity) == pytest.approx(50)
+
+    def test_multi_port_kind_balances(self):
+        # INT_ALU can go to P0 and P1: 30 uops -> 15 each.
+        activity = schedule_ports({UopKind.INT_ALU: 30}, nehalem_ports())
+        for port in (0, 1):
+            assert activity[port] == pytest.approx(15.0)
+
+    def test_balancing_respects_existing_load(self):
+        # FP muls (P0 only among these) first, then ALU balances around.
+        counts = {UopKind.FP_MUL: 10, UopKind.INT_ALU: 40}
+        activity = schedule_ports(counts, nehalem_ports())
+        assert activity[0] == pytest.approx(25.0)
+        assert activity[1] == pytest.approx(25.0)
+
+    def test_empty_mix(self):
+        activity = schedule_ports({}, nehalem_ports())
+        assert sum(activity) == 0.0
+
+
+class TestDeffBounds:
+    def test_never_exceeds_dispatch_width(self):
+        mix = make_mix({UopKind.INT_ALU: 100})
+        limits = effective_dispatch_rate(
+            mix, make_chains(cp=1.0), MachineConfig()
+        )
+        assert limits.effective() <= MachineConfig().dispatch_width
+
+    def test_deff_positive(self):
+        mix = make_mix({UopKind.DIV: 100})
+        limits = effective_dispatch_rate(
+            mix, make_chains(cp=100.0), MachineConfig()
+        )
+        assert limits.effective() > 0.0
+
+    def test_longer_cp_lowers_dependence_limit(self):
+        mix = make_mix({UopKind.INT_ALU: 100})
+        config = MachineConfig()
+        short = effective_dispatch_rate(mix, make_chains(cp=4.0), config)
+        long = effective_dispatch_rate(mix, make_chains(cp=40.0), config)
+        assert long.dependences < short.dependences

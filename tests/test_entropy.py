@@ -1,0 +1,133 @@
+"""Linear branch entropy tests (thesis §3.5, Eqs 3.13-3.15, Fig 3.9)."""
+
+import random
+
+import pytest
+
+from repro.frontend.entropy import (
+    EntropyMissRateModel,
+    linear_entropy,
+    profile_branch_entropy,
+    train_entropy_model,
+)
+from repro.isa import Instruction, MacroOp
+from repro.workloads.trace import Trace
+
+
+def branch_trace(outcomes, pc=0x100):
+    return Trace([
+        Instruction(pc=pc, op=MacroOp.BRANCH, taken=bool(t))
+        for t in outcomes
+    ], name="branches")
+
+
+class TestLinearEntropy:
+    def test_certain_outcomes_zero_entropy(self):
+        assert linear_entropy(0.0) == 0.0
+        assert linear_entropy(1.0) == 0.0
+
+    def test_coin_flip_max_entropy(self):
+        assert linear_entropy(0.5) == 1.0
+
+    def test_symmetry(self):
+        assert linear_entropy(0.3) == pytest.approx(linear_entropy(0.7))
+
+    def test_linearity(self):
+        assert linear_entropy(0.25) == pytest.approx(0.5)
+
+
+class TestEntropyProfiling:
+    def test_constant_branch_zero_entropy(self):
+        profile = profile_branch_entropy(branch_trace([True] * 500))
+        for value in profile.entropy.values():
+            assert value == pytest.approx(0.0, abs=0.02)
+
+    def test_random_branch_high_entropy(self):
+        rng = random.Random(3)
+        profile = profile_branch_entropy(
+            branch_trace([rng.random() < 0.5 for _ in range(4000)])
+        )
+        # With enough history the finite-sample bias shrinks but stays
+        # near 1 for truly random outcomes at short history.
+        assert profile.entropy[4] > 0.7
+
+    def test_alternating_branch_low_entropy_with_history(self):
+        profile = profile_branch_entropy(
+            branch_trace([i % 2 == 0 for i in range(2000)])
+        )
+        # Given >= 1 bit of history the pattern is fully determined.
+        assert profile.entropy[4] == pytest.approx(0.0, abs=0.02)
+
+    def test_entropy_non_increasing_with_history(self):
+        rng = random.Random(9)
+        outcomes = [(i % 4 == 0) or rng.random() < 0.1 for i in range(4000)]
+        profile = profile_branch_entropy(branch_trace(outcomes),
+                                         history_lengths=(2, 6, 10))
+        assert profile.entropy[2] >= profile.entropy[6] - 0.02
+        assert profile.entropy[6] >= profile.entropy[10] - 0.02
+
+    def test_biased_random_entropy_matches_formula(self):
+        rng = random.Random(4)
+        p = 0.2
+        outcomes = [rng.random() < p for _ in range(8000)]
+        profile = profile_branch_entropy(branch_trace(outcomes),
+                                         history_lengths=(2,))
+        assert profile.entropy[2] == pytest.approx(2 * p, abs=0.08)
+
+    def test_counts_branches(self, gcc_trace):
+        profile = profile_branch_entropy(gcc_trace)
+        assert profile.num_branches == sum(
+            1 for i in gcc_trace if i.is_branch
+        )
+
+    def test_at_picks_nearest_history(self):
+        profile = profile_branch_entropy(branch_trace([True] * 100),
+                                         history_lengths=(4, 12))
+        profile.entropy = {4: 0.5, 12: 0.9}
+        assert profile.at(5) == 0.5
+        assert profile.at(11) == 0.9
+
+
+class TestEntropyMissRateModel:
+    def test_prediction_clamped(self):
+        model = EntropyMissRateModel("x", slope=2.0, intercept=0.0,
+                                     history_bits=8)
+        assert model.predict(1.0) == 1.0
+        assert model.predict(-0.5) == 0.0
+
+    def test_linear_region(self):
+        model = EntropyMissRateModel("x", slope=0.5, intercept=0.01,
+                                     history_bits=8)
+        assert model.predict(0.4) == pytest.approx(0.21)
+
+    def test_training_recovers_positive_slope(self):
+        # Traces spanning the entropy range: miss rates must correlate, so
+        # the fitted slope is positive and predictions land near
+        # simulation (thesis Fig 3.9's linear fit).
+        rng = random.Random(21)
+        traces = []
+        for p in (0.0, 0.05, 0.15, 0.3, 0.5):
+            outcomes = [rng.random() < p for _ in range(3000)]
+            traces.append(branch_trace(outcomes))
+        model = train_entropy_model("gshare", traces)
+        assert model.slope > 0.1
+        assert model.r_squared > 0.7
+
+    def test_training_needs_two_traces(self):
+        with pytest.raises(ValueError):
+            train_entropy_model("gshare", [branch_trace([True] * 10)])
+
+    def test_trained_model_predicts_heldout_trace(self):
+        rng = random.Random(22)
+        train = [
+            branch_trace([rng.random() < p for _ in range(3000)])
+            for p in (0.0, 0.1, 0.25, 0.5)
+        ]
+        model = train_entropy_model("gshare", train)
+        held = branch_trace([rng.random() < 0.35 for _ in range(3000)])
+        from repro.frontend.predictors import make_predictor, \
+            misprediction_rate
+        actual = misprediction_rate(make_predictor("gshare"), held)
+        profile = profile_branch_entropy(held)
+        predicted = model.predict_from_profile(profile)
+        assert predicted == pytest.approx(actual, abs=0.12)

@@ -1,0 +1,117 @@
+"""End-to-end integration: profile -> model vs cycle-level simulation.
+
+These tests assert the qualitative claims of the paper on a subset of
+workloads at test-sized traces: single-configuration accuracy in a usable
+band, preserved workload ordering, and sane CPI stacks on both sides.
+"""
+
+import pytest
+
+from repro.core import AnalyticalModel, nehalem
+from repro.profiler import SamplingConfig, profile_application
+from repro.simulator import simulate
+from repro.workloads import generate_trace, make_workload
+
+WORKLOADS = ["gcc", "mcf", "libquantum", "gamess", "milc", "omnetpp"]
+LENGTH = 20_000
+SAMPLING = SamplingConfig(1000, 5000)
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    model = AnalyticalModel()
+    rows = {}
+    for name in WORKLOADS:
+        trace = generate_trace(make_workload(name), max_instructions=LENGTH)
+        sim = simulate(trace, nehalem())
+        profile = profile_application(trace, SAMPLING)
+        prediction = model.predict(profile, nehalem())
+        rows[name] = (sim, prediction)
+    return rows
+
+
+class TestAbsoluteAccuracy:
+    def test_each_workload_within_band(self, evaluations):
+        for name, (sim, prediction) in evaluations.items():
+            error = abs(prediction.cpi - sim.cpi) / sim.cpi
+            # Loose band: short traces + sparse sampling alias phase
+            # boundaries (the thesis' own sampling-error discussion).
+            assert error < 0.70, f"{name}: {error:.1%}"
+
+    def test_mean_error_in_paper_ballpark(self, evaluations):
+        errors = [
+            abs(pred.cpi - sim.cpi) / sim.cpi
+            for sim, pred in evaluations.values()
+        ]
+        assert sum(errors) / len(errors) < 0.30
+
+    def test_memory_bound_ranked_correctly(self, evaluations):
+        # Relative accuracy: mcf/omnetpp must be predicted much slower
+        # than gamess, as simulation says.
+        sim_mcf, pred_mcf = evaluations["mcf"]
+        sim_gamess, pred_gamess = evaluations["gamess"]
+        assert sim_mcf.cpi > sim_gamess.cpi
+        assert pred_mcf.cpi > pred_gamess.cpi
+
+    def test_workload_ordering_preserved(self, evaluations):
+        # Spearman-style check: the model's CPI ordering must correlate
+        # with simulation (relative accuracy, the paper's key property).
+        names = list(evaluations)
+        sim_rank = sorted(names, key=lambda n: evaluations[n][0].cpi)
+        model_rank = sorted(names, key=lambda n: evaluations[n][1].cpi)
+        # Count pairwise agreements.
+        agree = 0
+        total = 0
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                a, b = names[i], names[j]
+                sim_order = evaluations[a][0].cpi < evaluations[b][0].cpi
+                model_order = evaluations[a][1].cpi < evaluations[b][1].cpi
+                agree += sim_order == model_order
+                total += 1
+        assert agree / total > 0.8
+
+
+class TestCpiStacks:
+    def test_dram_component_agreement(self, evaluations):
+        # Memory-bound workloads: both sides put the majority of cycles
+        # in the DRAM component (Fig 6.1's shape).
+        for name in ("mcf", "omnetpp"):
+            sim, prediction = evaluations[name]
+            sim_stack = sim.cpi_stack()
+            model_stack = prediction.cpi_stack()
+            assert sim_stack["dram"] > 0.5 * sim.cpi
+            assert model_stack["dram"] > 0.5 * prediction.cpi
+
+    def test_compute_bound_base_dominates(self, evaluations):
+        sim, prediction = evaluations["gamess"]
+        assert sim.cpi_stack()["base"] > 0.25 * sim.cpi
+        assert prediction.cpi_stack()["base"] > 0.25 * prediction.cpi
+
+
+class TestPowerIntegration:
+    def test_power_positive_and_bounded(self, evaluations):
+        model = AnalyticalModel()
+        for name in ("gcc", "mcf"):
+            trace = generate_trace(make_workload(name),
+                                   max_instructions=LENGTH)
+            profile = profile_application(trace, SAMPLING)
+            result = model.predict(profile, nehalem())
+            assert 1.0 < result.power_watts < 60.0
+
+    def test_memory_bound_lower_core_power(self):
+        # A stalled core burns less dynamic power than a busy one.
+        model = AnalyticalModel()
+        busy = profile_application(
+            generate_trace(make_workload("gamess"),
+                           max_instructions=LENGTH), SAMPLING
+        )
+        stalled = profile_application(
+            generate_trace(make_workload("mcf"),
+                           max_instructions=LENGTH), SAMPLING
+        )
+        busy_result = model.predict(busy, nehalem())
+        stalled_result = model.predict(stalled, nehalem())
+        assert busy_result.power.dynamic_total > (
+            stalled_result.power.dynamic_total
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for the ISA substrate (macro ops, cracking, instructions)."""
+
+import pytest
+
+from repro.isa import (
+    DEFAULT_UOP_LATENCY,
+    Instruction,
+    MacroOp,
+    UopKind,
+    crack,
+    uop_count,
+)
+
+
+class TestCracking:
+    def test_simple_ops_crack_to_one_uop(self):
+        for op in (MacroOp.INT_ALU, MacroOp.LOAD, MacroOp.STORE,
+                   MacroOp.BRANCH, MacroOp.DIV, MacroOp.FP_MUL):
+            assert uop_count(op) == 1
+
+    def test_load_op_forms_crack_to_two(self):
+        assert crack(MacroOp.INT_ALU_LOAD) == (UopKind.LOAD, UopKind.INT_ALU)
+        assert crack(MacroOp.FP_ALU_LOAD) == (UopKind.LOAD, UopKind.FP_ALU)
+
+    def test_op_store_form_cracks_to_two(self):
+        assert crack(MacroOp.INT_ALU_STORE) == (
+            UopKind.INT_ALU, UopKind.STORE
+        )
+
+    def test_every_macro_op_has_a_template(self):
+        for op in MacroOp:
+            assert len(crack(op)) >= 1
+
+    def test_crack_order_puts_load_first(self):
+        # Load-op forms must execute the memory part before the ALU part.
+        uops = crack(MacroOp.INT_ALU_LOAD)
+        assert uops[0] is UopKind.LOAD
+
+
+class TestInstruction:
+    def test_load_classification(self):
+        instr = Instruction(pc=0x100, op=MacroOp.LOAD, dst=1, addr=64)
+        assert instr.is_load and instr.is_mem and not instr.is_store
+
+    def test_load_op_form_is_load(self):
+        instr = Instruction(pc=0x100, op=MacroOp.INT_ALU_LOAD, dst=1, addr=8)
+        assert instr.is_load
+
+    def test_store_classification(self):
+        instr = Instruction(pc=0x104, op=MacroOp.STORE, src1=2, addr=128)
+        assert instr.is_store and instr.is_mem and not instr.is_load
+
+    def test_branch_classification(self):
+        instr = Instruction(pc=0x108, op=MacroOp.BRANCH, taken=True)
+        assert instr.is_branch and not instr.is_mem
+
+    def test_alu_is_not_memory(self):
+        instr = Instruction(pc=0x10c, op=MacroOp.INT_ALU, dst=3, src1=1)
+        assert not instr.is_mem and not instr.is_branch
+
+    def test_instructions_are_immutable(self):
+        instr = Instruction(pc=0, op=MacroOp.NOP)
+        with pytest.raises(AttributeError):
+            instr.pc = 4
+
+    def test_uop_count_matches_crack(self):
+        instr = Instruction(pc=0, op=MacroOp.FP_ALU_LOAD, dst=1, addr=0)
+        assert instr.uop_count() == 2
+        assert instr.uops() == crack(MacroOp.FP_ALU_LOAD)
+
+
+class TestLatencies:
+    def test_all_uop_kinds_have_latencies(self):
+        for kind in UopKind:
+            assert DEFAULT_UOP_LATENCY[kind] >= 1
+
+    def test_divide_is_slowest(self):
+        assert DEFAULT_UOP_LATENCY[UopKind.DIV] == max(
+            DEFAULT_UOP_LATENCY.values()
+        )
+
+    def test_memory_property(self):
+        assert UopKind.LOAD.is_memory
+        assert UopKind.STORE.is_memory
+        assert not UopKind.INT_ALU.is_memory

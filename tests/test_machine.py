@@ -1,0 +1,134 @@
+"""Machine configuration tests: reference cores, ports, design spaces."""
+
+import pytest
+
+from repro.core.machine import (
+    DESIGN_SPACE_AXES,
+    MachineConfig,
+    design_space,
+    dvfs_points,
+    dvfs_vdd,
+    low_power_core,
+    narrow_ports,
+    nehalem,
+    nehalem_ports,
+)
+from repro.isa import UopKind
+
+
+class TestReferenceConfig:
+    def test_nehalem_matches_table_6_1(self):
+        config = nehalem()
+        assert config.dispatch_width == 4
+        assert config.rob_size == 128
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.llc.size_bytes == 8 * 1024 * 1024
+        assert config.frequency_ghz == pytest.approx(2.66)
+        assert config.mshr_entries == 10
+
+    def test_six_ports(self):
+        assert len(nehalem_ports()) == 6
+
+    def test_every_uop_kind_servable(self):
+        for ports in (nehalem_ports(), narrow_ports()):
+            for kind in UopKind:
+                assert any(kind in port.kinds for port in ports), (
+                    kind, len(ports)
+                )
+
+    def test_loads_single_ported_on_nehalem(self):
+        assert nehalem().units_of(UopKind.LOAD) == 1
+
+    def test_latency_lookup(self):
+        config = nehalem()
+        assert config.latency_of(UopKind.DIV) > config.latency_of(
+            UopKind.INT_ALU
+        )
+        assert config.latency_of(UopKind.MOVE) == 1
+
+    def test_level_latencies_ordering(self):
+        latencies = nehalem().level_latencies()
+        assert latencies == sorted(latencies)
+
+    def test_low_power_core_is_smaller(self):
+        small = low_power_core()
+        big = nehalem()
+        assert small.dispatch_width < big.dispatch_width
+        assert small.rob_size < big.rob_size
+        assert small.llc.size_bytes < big.llc.size_bytes
+        assert small.frequency_ghz < big.frequency_ghz
+
+
+class TestWithFrequency:
+    def test_renames_and_scales(self):
+        scaled = nehalem().with_frequency(1.6)
+        assert "1.60GHz" in scaled.name
+        assert scaled.frequency_ghz == pytest.approx(1.6)
+        assert scaled.vdd == pytest.approx(dvfs_vdd(1.6))
+
+    def test_explicit_vdd_respected(self):
+        scaled = nehalem().with_frequency(2.0, vdd=0.95)
+        assert scaled.vdd == pytest.approx(0.95)
+
+    def test_original_unchanged(self):
+        base = nehalem()
+        base.with_frequency(3.4)
+        assert base.frequency_ghz == pytest.approx(2.66)
+
+
+class TestDesignSpace:
+    def test_full_space_is_243(self):
+        assert len(design_space()) == 243
+
+    def test_axes_cover_five_parameters(self):
+        assert len(DESIGN_SPACE_AXES) == 5
+        assert all(len(v) == 3 for v in DESIGN_SPACE_AXES.values())
+
+    def test_every_axis_value_appears(self):
+        space = design_space()
+        widths = {c.dispatch_width for c in space}
+        robs = {c.rob_size for c in space}
+        llcs = {c.llc.size_bytes for c in space}
+        assert widths == set(DESIGN_SPACE_AXES["dispatch_width"])
+        assert robs == set(DESIGN_SPACE_AXES["rob_size"])
+        assert llcs == {
+            mb * 1024 * 1024 for mb in DESIGN_SPACE_AXES["llc_mb"]
+        }
+
+    def test_narrow_cores_get_narrow_ports(self):
+        space = design_space()
+        for config in space:
+            if config.dispatch_width < 4:
+                assert len(config.ports) == 3
+            else:
+                assert len(config.ports) == 6
+
+    def test_mshrs_scale_with_width(self):
+        space = design_space({"dispatch_width": (2, 6)})
+        by_width = {c.dispatch_width: c.mshr_entries for c in space}
+        assert by_width[6] > by_width[2]
+
+
+class TestDVFS:
+    def test_grid_includes_nominal(self):
+        frequencies = [p.frequency_ghz for p in dvfs_points()]
+        assert 2.66 in frequencies
+
+    def test_voltage_tracks_frequency(self):
+        points = dvfs_points()
+        for a, b in zip(points, points[1:]):
+            assert b.vdd >= a.vdd
+
+
+class TestConfigDataclass:
+    def test_frozen(self):
+        config = nehalem()
+        with pytest.raises(Exception):
+            config.rob_size = 17
+
+    def test_cache_levels_list(self):
+        levels = nehalem().cache_levels()
+        assert [c.size_bytes for c in levels] == [
+            32 * 1024, 256 * 1024, 8 * 1024 * 1024
+        ]

@@ -1,0 +1,87 @@
+"""LLC chaining and I-cache penalty tests (thesis §4.8, Eq 3.1 term 3)."""
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.core.memory_model import icache_penalty, llc_chain_penalty
+
+
+class TestLLCChainPenalty:
+    def test_no_hits_no_penalty(self):
+        penalty = llc_chain_penalty(
+            llc_hits_per_rob=0.0,
+            independent_load_fraction=1.0,
+            loads_per_rob=32.0,
+            deff=4.0,
+            num_uops=10_000,
+            config=MachineConfig(),
+        )
+        assert penalty == 0.0
+
+    def test_short_chains_hidden_by_rob(self):
+        # Few hits spread over many paths: serialized latency below the
+        # ROB fill time is hidden (Eq 4.11).
+        penalty = llc_chain_penalty(
+            llc_hits_per_rob=2.0,
+            independent_load_fraction=1.0,
+            loads_per_rob=32.0,
+            deff=4.0,
+            num_uops=10_000,
+            config=MachineConfig(rob_size=128),
+        )
+        assert penalty == 0.0
+
+    def test_long_chains_exposed(self):
+        # One dependence path carrying many LLC hits serializes beyond
+        # the ROB fill time.
+        config = MachineConfig(rob_size=128)
+        penalty = llc_chain_penalty(
+            llc_hits_per_rob=8.0,
+            independent_load_fraction=1.0 / 32.0,  # one path
+            loads_per_rob=32.0,
+            deff=4.0,
+            num_uops=10_000,
+            config=config,
+        )
+        assert penalty > 0.0
+
+    def test_more_paths_less_penalty(self):
+        config = MachineConfig(rob_size=128)
+        few_paths = llc_chain_penalty(8.0, 1 / 32, 32.0, 4.0, 10_000, config)
+        many_paths = llc_chain_penalty(8.0, 0.5, 32.0, 4.0, 10_000, config)
+        assert many_paths <= few_paths
+
+    def test_eq_4_7_to_4_9_hand_case(self):
+        # hits=6, paths=2, lop=4: LHC_avg=3, LHC_max=min(6,4)=4,
+        # LHC_exp=3+(4-3)/2=3.5 -> serialized=30*3.5=105;
+        # rob fill=128/4=32 -> per-window 73; windows=1280/128=10 -> 730.
+        config = MachineConfig(rob_size=128)
+        penalty = llc_chain_penalty(
+            llc_hits_per_rob=6.0,
+            independent_load_fraction=2.0 / 8.0,
+            loads_per_rob=8.0,
+            deff=4.0,
+            num_uops=1280.0,
+            config=config,
+        )
+        assert penalty == pytest.approx(730.0)
+
+
+class TestICachePenalty:
+    def test_no_misses_no_penalty(self):
+        assert icache_penalty(1000, [0.0, 0.0, 0.0], MachineConfig()) == 0.0
+
+    def test_l1i_misses_pay_l2_latency(self):
+        config = MachineConfig()
+        penalty = icache_penalty(1000, [0.01, 0.0, 0.0], config)
+        assert penalty == pytest.approx(1000 * 0.01 * config.l2.latency)
+
+    def test_all_levels_summed(self):
+        config = MachineConfig()
+        penalty = icache_penalty(1000, [0.1, 0.05, 0.01], config)
+        expected = 1000 * (
+            0.1 * config.l2.latency
+            + 0.05 * config.llc.latency
+            + 0.01 * config.dram_latency
+        )
+        assert penalty == pytest.approx(expected)

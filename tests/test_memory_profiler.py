@@ -1,0 +1,173 @@
+"""Memory distribution profiling tests (thesis §4.4-4.5, Figs 4.5-4.7)."""
+
+import pytest
+
+from repro.isa import Instruction, MacroOp
+from repro.profiler.memory import (
+    StaticLoadProfile,
+    classify_strides,
+    profile_cold_misses,
+    profile_micro_trace_memory,
+)
+
+
+def load(pc, dst, addr, src=-1):
+    return Instruction(pc=pc, op=MacroOp.LOAD, dst=dst, src1=src, addr=addr)
+
+
+class TestLoadDependenceDistribution:
+    def test_fig_4_5_distribution(self):
+        # Thesis Fig 4.5: 7 loads; L1,L5 head chains (l=1); L2,L3,L6 are
+        # second (l=2); L4,L7 third (l=3) -> f = [2/7, 3/7, 2/7].
+        stream = [
+            load(0x10, dst=1, addr=0x0),            # L1 (l=1)
+            load(0x14, dst=2, addr=0x40, src=1),     # L2 (l=2)
+            load(0x18, dst=3, addr=0x80, src=1),     # L3 (l=2)
+            load(0x1c, dst=4, addr=0xc0, src=2),     # L4 (l=3)
+            load(0x20, dst=5, addr=0x100),           # L5 (l=1)
+            load(0x24, dst=6, addr=0x140, src=5),    # L6 (l=2)
+            load(0x28, dst=7, addr=0x180, src=6),    # L7 (l=3)
+        ]
+        profile = profile_micro_trace_memory(stream)
+        distribution = profile.memory_distribution = (
+            profile.load_dependence_distribution()
+        )
+        assert distribution[1] == pytest.approx(2 / 7)
+        assert distribution[2] == pytest.approx(3 / 7)
+        assert distribution[3] == pytest.approx(2 / 7)
+
+    def test_independent_fraction(self):
+        stream = [load(0x10 + 4 * i, dst=i + 1, addr=64 * i)
+                  for i in range(5)]
+        profile = profile_micro_trace_memory(stream)
+        assert profile.independent_load_fraction() == pytest.approx(1.0)
+
+    def test_chase_depth_accumulates(self):
+        stream = [load(0x10, dst=1, addr=64 * i, src=1) for i in range(10)]
+        profile = profile_micro_trace_memory(stream)
+        static = profile.static_loads[0x10]
+        assert static.mean_depth == pytest.approx(5.5)  # mean of 1..10
+
+    def test_alu_links_dependence_chain(self):
+        # load -> alu -> load: the second load is l=2 through the ALU.
+        stream = [
+            load(0x10, dst=1, addr=0),
+            Instruction(pc=0x14, op=MacroOp.INT_ALU, dst=2, src1=1),
+            load(0x18, dst=3, addr=64, src=2),
+        ]
+        profile = profile_micro_trace_memory(stream)
+        assert profile.load_dependence[2] == 1
+
+
+class TestStrideClassification:
+    def make_load(self, strides_seen, occurrences=None):
+        profile = StaticLoadProfile(pc=0x40, first_position=0)
+        profile.positions = list(range(len(strides_seen) + 1))
+        for stride in strides_seen:
+            profile.strides[stride] += 1
+        return profile
+
+    def test_single_occurrence_is_unique(self):
+        profile = StaticLoadProfile(pc=0x40, first_position=0)
+        profile.positions = [3]
+        category, strides = classify_strides(profile)
+        assert category == "UNIQUE"
+
+    def test_pure_stride(self):
+        category, strides = classify_strides(self.make_load([8] * 10))
+        assert category == "STRIDE"
+        assert strides == [8]
+
+    def test_fig_4_6_load_b_two_strides(self):
+        # Thesis Fig 4.6 load B: addresses 48,52,56,64,72 -> strides
+        # 4,4,8,8: each 50%, cumulative 100% >= 70% -> two-strided.
+        category, strides = classify_strides(self.make_load([4, 4, 8, 8]))
+        assert category == "FILTER-2"
+        assert set(strides) == {4, 8}
+
+    def test_dominant_stride_with_noise(self):
+        # 70% one stride passes the 60% single-stride cutoff.
+        seen = [8] * 7 + [100, 200, 300]
+        category, strides = classify_strides(self.make_load(seen))
+        assert category == "FILTER-1"
+        assert strides == [8]
+
+    def test_random_strides(self):
+        seen = list(range(1, 20))  # 19 distinct strides, all ~5%
+        category, _ = classify_strides(self.make_load(seen))
+        assert category == "RANDOM"
+
+    def test_micro_trace_categories(self, libquantum_trace):
+        profile = profile_micro_trace_memory(
+            libquantum_trace.instructions[:1000]
+        )
+        categories = profile.stride_categories()
+        # Streaming loads must classify as strided.
+        strided = sum(
+            count for name, count in categories.items()
+            if name.startswith("STRIDE") or name.startswith("FILTER")
+        )
+        assert strided >= 2
+
+
+class TestLoadSpacing:
+    def test_positions_and_gaps(self):
+        stream = []
+        for i in range(4):
+            stream.append(load(0x40, dst=1, addr=64 * i))
+            stream.extend(
+                Instruction(pc=0x50 + 4 * j, op=MacroOp.INT_ALU, dst=2)
+                for j in range(7)
+            )
+        profile = profile_micro_trace_memory(stream)
+        static = profile.static_loads[0x40]
+        assert static.first_position == 0
+        assert static.mean_gap == pytest.approx(8.0)
+
+    def test_local_reuse_recorded(self):
+        stream = [
+            load(0x40, dst=1, addr=0),
+            load(0x44, dst=2, addr=4096),
+            load(0x40, dst=1, addr=0),  # same line, RD = 1
+        ]
+        profile = profile_micro_trace_memory(stream)
+        assert profile.static_loads[0x40].local_reuse == [1]
+
+
+class TestColdMissProfile:
+    def test_unique_stream_all_cold(self):
+        stream = [load(0x40 + 4 * i, dst=1, addr=64 * i) for i in range(64)]
+        profile = profile_cold_misses(stream, rob_grid=(32,),
+                                      line_sizes=(64,))
+        assert profile.total[64] == 64
+        assert profile.per_window[(64, 32)] == pytest.approx(32.0)
+
+    def test_repeated_stream_one_cold(self):
+        stream = [load(0x40, dst=1, addr=0) for _ in range(100)]
+        profile = profile_cold_misses(stream, rob_grid=(32,),
+                                      line_sizes=(64,))
+        assert profile.total[64] == 1
+
+    def test_line_size_affects_cold_count(self):
+        stream = [load(0x40, dst=1, addr=32 * i) for i in range(64)]
+        profile = profile_cold_misses(stream, rob_grid=(32,),
+                                      line_sizes=(32, 128))
+        assert profile.total[32] == 64
+        assert profile.total[128] == 16
+
+    def test_occupied_window_average(self):
+        # Cold misses clustered in the first window only.
+        stream = [load(0x40 + 4 * i, dst=1, addr=64 * i) for i in range(8)]
+        stream += [load(0x40, dst=1, addr=0) for _ in range(56)]
+        profile = profile_cold_misses(stream, rob_grid=(32,),
+                                      line_sizes=(64,))
+        assert profile.per_window[(64, 32)] == pytest.approx(8.0)
+        assert profile.window_fraction[(64, 32)] == pytest.approx(0.5)
+
+    def test_nearest_lookup(self):
+        stream = [load(0x40 + 4 * i, dst=1, addr=64 * i) for i in range(32)]
+        profile = profile_cold_misses(stream, rob_grid=(32, 128),
+                                      line_sizes=(64,))
+        assert profile.cold_misses_per_occupied_window(100, 64) == (
+            profile.per_window[(64, 128)]
+        )

@@ -1,0 +1,121 @@
+"""Branch predictor simulator tests (thesis §3.5 substrate)."""
+
+import random
+
+import pytest
+
+from repro.frontend.predictors import (
+    make_predictor,
+    misprediction_rate,
+    simulate_predictor,
+)
+from repro.isa import Instruction, MacroOp
+from repro.workloads.trace import Trace
+
+PREDICTORS = ["always-taken", "bimodal", "GAg", "GAp", "PAp", "gshare",
+              "tournament"]
+
+
+def branch_trace(outcomes, pc=0x100):
+    return Trace([
+        Instruction(pc=pc, op=MacroOp.BRANCH, taken=bool(t))
+        for t in outcomes
+    ], name="branches")
+
+
+def multi_branch_trace(outcome_map, length):
+    """Interleave several static branches."""
+    instructions = []
+    rng = random.Random(5)
+    pcs = list(outcome_map)
+    for i in range(length):
+        pc = pcs[i % len(pcs)]
+        pattern = outcome_map[pc]
+        taken = pattern(i, rng)
+        instructions.append(
+            Instruction(pc=pc, op=MacroOp.BRANCH, taken=taken)
+        )
+    return Trace(instructions, name="multi")
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name", PREDICTORS)
+    def test_always_taken_stream_learned(self, name):
+        trace = branch_trace([True] * 500)
+        rate = misprediction_rate(make_predictor(name), trace)
+        assert rate < 0.05
+
+    @pytest.mark.parametrize("name", ["bimodal", "GAg", "gshare",
+                                      "tournament", "PAp", "GAp"])
+    def test_never_taken_stream_learned(self, name):
+        trace = branch_trace([False] * 500)
+        rate = misprediction_rate(make_predictor(name), trace)
+        assert rate < 0.05
+
+    def test_always_taken_predictor_on_never_taken(self):
+        trace = branch_trace([False] * 100)
+        rate = misprediction_rate(make_predictor("always-taken"), trace)
+        assert rate == 1.0
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(KeyError):
+            make_predictor("perceptron")
+
+    def test_simulate_counts_branches_only(self, gcc_trace):
+        predictor = make_predictor("gshare")
+        branches, misses = simulate_predictor(predictor, gcc_trace)
+        expected = sum(1 for i in gcc_trace if i.is_branch)
+        assert branches == expected
+        assert 0 <= misses <= branches
+
+
+class TestPatternLearning:
+    @pytest.mark.parametrize("name", ["GAg", "gshare", "PAp", "tournament"])
+    def test_alternating_pattern_learned_by_history(self, name):
+        # T N T N ... is perfectly predictable with 1 bit of history
+        # (thesis Algorithm 3.3 branch 1).
+        trace = branch_trace([i % 2 == 0 for i in range(1000)])
+        rate = misprediction_rate(make_predictor(name), trace)
+        assert rate < 0.05
+
+    def test_alternating_pattern_defeats_bimodal(self):
+        trace = branch_trace([i % 2 == 0 for i in range(1000)])
+        rate = misprediction_rate(make_predictor("bimodal"), trace)
+        assert rate > 0.3  # no history, counter oscillates
+
+    @pytest.mark.parametrize("name", ["GAg", "gshare", "PAp"])
+    def test_period_4_pattern_learned(self, name):
+        trace = branch_trace([i % 4 == 0 for i in range(2000)])
+        rate = misprediction_rate(make_predictor(name), trace)
+        assert rate < 0.10
+
+    @pytest.mark.parametrize("name", PREDICTORS)
+    def test_random_branches_near_half(self, name):
+        # Thesis Algorithm 3.3 branch 2: random outcomes cannot be
+        # predicted better than the bias.
+        rng = random.Random(13)
+        trace = branch_trace([rng.random() < 0.5 for _ in range(2000)])
+        rate = misprediction_rate(make_predictor(name), trace)
+        assert rate > 0.35
+
+    def test_pap_separates_interleaved_branches(self):
+        # Two branches with different periodic patterns: per-branch
+        # history (PAp) should learn both.
+        outcome_map = {
+            0x100: lambda i, rng: (i // 2) % 2 == 0,
+            0x200: lambda i, rng: (i // 2) % 3 == 0,
+        }
+        trace = multi_branch_trace(outcome_map, 3000)
+        rate = misprediction_rate(make_predictor("PAp"), trace)
+        assert rate < 0.15
+
+    def test_tournament_at_least_as_good_as_parts_on_mixed(self):
+        outcome_map = {
+            0x100: lambda i, rng: (i // 2) % 2 == 0,
+            0x200: lambda i, rng: rng.random() < 0.2,
+        }
+        trace = multi_branch_trace(outcome_map, 3000)
+        tournament = misprediction_rate(make_predictor("tournament"), trace)
+        gap = misprediction_rate(make_predictor("GAp"), trace)
+        pap = misprediction_rate(make_predictor("PAp"), trace)
+        assert tournament <= max(gap, pap) + 0.05

@@ -1,0 +1,126 @@
+"""Profiler tests: sampling, mix, application profile assembly."""
+
+import pytest
+
+from repro.isa import Instruction, MacroOp, UopKind
+from repro.profiler import (
+    SamplingConfig,
+    iter_micro_traces,
+    profile_application,
+    profile_mix,
+)
+from repro.profiler.mix import UopMix
+from repro.workloads import generate_trace, make_workload
+
+
+class TestSamplingConfig:
+    def test_sample_rate(self):
+        config = SamplingConfig(1000, 10_000)
+        assert config.sample_rate == pytest.approx(0.1)
+
+    def test_full_profiling(self):
+        config = SamplingConfig.full(500)
+        assert config.sample_rate == 1.0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(1000, 500)
+        with pytest.raises(ValueError):
+            SamplingConfig(0, 100)
+
+    def test_micro_trace_boundaries(self, gcc_trace):
+        config = SamplingConfig(1000, 5000)
+        pieces = list(iter_micro_traces(gcc_trace.instructions, config))
+        assert [start for start, _ in pieces] == list(
+            range(0, len(gcc_trace), 5000)
+        )
+        for start, micro in pieces:
+            assert len(micro) <= 1000
+
+
+class TestMixProfiling:
+    def test_counts_uops(self):
+        stream = [
+            Instruction(pc=0, op=MacroOp.INT_ALU_LOAD, dst=1, addr=0),
+            Instruction(pc=4, op=MacroOp.STORE, src1=1, addr=64),
+        ]
+        mix = profile_mix(stream)
+        assert mix.num_instructions == 2
+        assert mix.num_uops == 3
+        assert mix.counts[UopKind.LOAD] == 1
+        assert mix.counts[UopKind.STORE] == 1
+
+    def test_fractions_sum_to_one(self, gcc_trace):
+        mix = profile_mix(gcc_trace)
+        assert sum(mix.fractions().values()) == pytest.approx(1.0)
+
+    def test_average_latency_weighted(self):
+        mix = UopMix()
+        mix.counts = {UopKind.INT_ALU: 50, UopKind.FP_MUL: 50}
+        mix.num_uops = 100
+        latency = mix.average_latency({UopKind.INT_ALU: 1,
+                                       UopKind.FP_MUL: 5})
+        assert latency == pytest.approx(3.0)
+
+    def test_merge(self):
+        a = profile_mix([Instruction(pc=0, op=MacroOp.LOAD, dst=1, addr=0)])
+        b = profile_mix([Instruction(pc=4, op=MacroOp.BRANCH)])
+        a.merge(b)
+        assert a.num_instructions == 2
+        assert a.counts[UopKind.BRANCH] == 1
+
+    def test_sampled_mix_error_small(self, gcc_trace):
+        # Thesis Fig 5.2 / Eq 5.1: sampled instruction mix is within a
+        # couple percent of the full mix per category.
+        full = profile_mix(gcc_trace)
+        sampled = UopMix()
+        for _, micro in iter_micro_traces(
+            gcc_trace.instructions, SamplingConfig(1000, 5000)
+        ):
+            sampled.merge(profile_mix(micro))
+        for kind in full.counts:
+            error = abs(sampled.fraction(kind) - full.fraction(kind))
+            assert error < 0.05, kind
+
+
+class TestApplicationProfile:
+    def test_micro_trace_count(self, gcc_profile):
+        assert len(gcc_profile.micro_traces) == 4  # 20k / 5k windows
+
+    def test_sample_fraction(self, gcc_profile):
+        assert gcc_profile.sample_fraction == pytest.approx(0.2, abs=0.01)
+
+    def test_statstack_cached(self, gcc_profile):
+        assert gcc_profile.statstack() is gcc_profile.statstack()
+
+    def test_aggregate_mix_reasonable(self, gcc_profile):
+        assert gcc_profile.mix.load_fraction > 0.1
+        assert gcc_profile.mix.branch_fraction > 0.05
+
+    def test_chains_profiled_on_grid(self, gcc_profile):
+        assert gcc_profile.chains.cp.at(128) >= 1.0
+        assert gcc_profile.chains.ap.at(128) >= 1.0
+
+    def test_micro_traces_sorted_and_attributed(self, gcc_profile):
+        starts = [mt.start for mt in gcc_profile.micro_traces]
+        assert starts == sorted(starts)
+        total_attributed = sum(
+            sum(mt.load_reuse.values()) + mt.cold_loads
+            for mt in gcc_profile.micro_traces
+        )
+        assert total_attributed > 0
+
+    def test_per_pc_reuse_attributed(self, libquantum_profile):
+        micro = libquantum_profile.micro_traces[1]
+        assert micro.load_reuse_by_pc or micro.cold_by_pc
+
+    def test_instruction_reuse_covers_all_instructions(self, gcc_profile,
+                                                       gcc_trace):
+        assert gcc_profile.instruction_reuse.load_accesses == len(gcc_trace)
+
+    def test_full_sampling_covers_everything(self):
+        trace = generate_trace(make_workload("gamess"),
+                               max_instructions=4000)
+        profile = profile_application(trace, SamplingConfig.full(1000))
+        assert profile.sample_fraction == pytest.approx(1.0)
+        assert profile.mix.num_instructions == len(trace)

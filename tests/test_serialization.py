@@ -1,0 +1,85 @@
+"""Profile serialization round-trip tests."""
+
+import io
+
+import pytest
+
+from repro.core import AnalyticalModel, nehalem
+from repro.profiler.serialization import (
+    FORMAT_VERSION,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_scalars(self, gcc_profile):
+        restored = profile_from_dict(profile_to_dict(gcc_profile))
+        assert restored.name == gcc_profile.name
+        assert restored.num_instructions == gcc_profile.num_instructions
+        assert restored.sampling == gcc_profile.sampling
+        assert restored.mix.num_uops == gcc_profile.mix.num_uops
+
+    def test_round_trip_preserves_chains(self, gcc_profile):
+        restored = profile_from_dict(profile_to_dict(gcc_profile))
+        for rob in (64, 128, 256):
+            assert restored.chains.cp.at(rob) == pytest.approx(
+                gcc_profile.chains.cp.at(rob)
+            )
+
+    def test_round_trip_preserves_reuse(self, gcc_profile):
+        restored = profile_from_dict(profile_to_dict(gcc_profile))
+        assert restored.reuse.histogram == gcc_profile.reuse.histogram
+        assert restored.reuse.cold_loads == gcc_profile.reuse.cold_loads
+
+    def test_round_trip_preserves_micro_traces(self, gcc_profile):
+        restored = profile_from_dict(profile_to_dict(gcc_profile))
+        assert len(restored.micro_traces) == len(gcc_profile.micro_traces)
+        original = gcc_profile.micro_traces[0]
+        copy = restored.micro_traces[0]
+        assert copy.load_reuse == original.load_reuse
+        assert copy.memory.load_dependence == (
+            original.memory.load_dependence
+        )
+        assert set(copy.memory.static_loads) == (
+            set(original.memory.static_loads)
+        )
+
+    def test_predictions_identical_after_round_trip(self, gcc_profile):
+        """The acid test: model output must not change."""
+        restored = profile_from_dict(profile_to_dict(gcc_profile))
+        model = AnalyticalModel()
+        original = model.predict(gcc_profile, nehalem())
+        replayed = model.predict(restored, nehalem())
+        assert replayed.cpi == pytest.approx(original.cpi, rel=1e-9)
+        assert replayed.power_watts == pytest.approx(
+            original.power_watts, rel=1e-9
+        )
+
+    def test_file_round_trip(self, gcc_profile, tmp_path):
+        path = str(tmp_path / "gcc.profile")
+        save_profile(gcc_profile, path)
+        restored = load_profile(path)
+        assert restored.name == gcc_profile.name
+
+    def test_stream_round_trip(self, gcc_profile):
+        buffer = io.StringIO()
+        save_profile(gcc_profile, buffer)
+        buffer.seek(0)
+        restored = load_profile(buffer)
+        assert restored.mix.num_instructions == (
+            gcc_profile.mix.num_instructions
+        )
+
+    def test_version_check(self, gcc_profile):
+        data = profile_to_dict(gcc_profile)
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            profile_from_dict(data)
+
+    def test_json_serializable(self, gcc_profile):
+        import json
+        text = json.dumps(profile_to_dict(gcc_profile))
+        assert len(text) > 100

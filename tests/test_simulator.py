@@ -1,0 +1,143 @@
+"""Reference simulator tests (the cycle-level ground truth)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.machine import MachineConfig, nehalem, low_power_core
+from repro.isa import Instruction, MacroOp
+from repro.simulator import Simulator, simulate
+from repro.workloads.trace import Trace
+
+
+def alu_trace(n, dependent=False):
+    instructions = []
+    for i in range(n):
+        if dependent:
+            instructions.append(
+                Instruction(pc=4 * i, op=MacroOp.INT_ALU, dst=1, src1=1)
+            )
+        else:
+            instructions.append(
+                Instruction(pc=4 * i, op=MacroOp.INT_ALU, dst=i % 8)
+            )
+    return Trace(instructions, name="alu")
+
+
+class TestBasicTiming:
+    def test_ipc_bounded_by_width(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem())
+        assert result.ipc <= nehalem().dispatch_width
+
+    def test_independent_alus_near_width_limit(self):
+        # Perfect conditions: IPC approaches min(D, ALU ports) = 2.
+        result = simulate(alu_trace(4000), nehalem(),
+                          perfect_frontend=True, perfect_caches=True)
+        assert result.ipc == pytest.approx(2.0, rel=0.05)
+
+    def test_serial_chain_ipc_one(self):
+        # A fully serial unit-latency chain commits one per cycle.
+        result = simulate(alu_trace(2000, dependent=True), nehalem(),
+                          perfect_frontend=True, perfect_caches=True)
+        assert result.ipc == pytest.approx(1.0, rel=0.05)
+
+    def test_deterministic(self, gcc_trace):
+        first = simulate(gcc_trace, nehalem())
+        second = simulate(gcc_trace, nehalem())
+        assert first.cycles == second.cycles
+
+    def test_stack_sums_to_cycles(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem())
+        assert sum(result.stack.values()) == pytest.approx(
+            result.cycles, rel=0.05
+        )
+
+
+class TestPerfectModes:
+    def test_perfect_caches_not_slower(self, libquantum_trace):
+        real = simulate(libquantum_trace, nehalem())
+        perfect = simulate(libquantum_trace, nehalem(),
+                           perfect_caches=True)
+        assert perfect.cycles <= real.cycles
+
+    def test_perfect_frontend_not_slower(self, gcc_trace):
+        real = simulate(gcc_trace, nehalem())
+        perfect = simulate(gcc_trace, nehalem(), perfect_frontend=True)
+        assert perfect.cycles <= real.cycles
+
+    def test_perfect_frontend_no_branch_misses(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem(), perfect_frontend=True)
+        assert result.branch_mispredictions == 0
+        assert result.stack["branch"] == 0.0
+
+
+class TestMachineSensitivity:
+    def test_memory_bound_workload_feels_llc_size(self, mcf_trace):
+        from repro.caches.cache import CacheConfig
+        small = simulate(mcf_trace, replace(
+            nehalem(), llc=CacheConfig(1 << 20, 16, 64, latency=30)
+        ))
+        large = simulate(mcf_trace, nehalem())
+        assert large.cycles <= small.cycles * 1.02
+
+    def test_low_power_core_slower(self, gcc_trace):
+        big = simulate(gcc_trace, nehalem())
+        small = simulate(gcc_trace, low_power_core())
+        assert small.cpi > big.cpi
+
+    def test_prefetcher_helps_streaming(self, libquantum_trace):
+        base = simulate(libquantum_trace, nehalem())
+        prefetching = simulate(
+            libquantum_trace, replace(nehalem(), prefetch=True)
+        )
+        assert prefetching.cycles <= base.cycles
+
+    def test_narrow_rob_slower_on_mlp_workload(self, libquantum_trace):
+        wide = simulate(libquantum_trace, nehalem())
+        narrow = simulate(libquantum_trace, replace(nehalem(), rob_size=32))
+        assert narrow.cycles >= wide.cycles
+
+
+class TestAccounting:
+    def test_uop_count_matches_trace(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem())
+        assert result.uops == gcc_trace.stats().num_uops
+
+    def test_branch_counts(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem())
+        assert result.branches == gcc_trace.stats().num_branches
+        assert 0 <= result.branch_mispredictions <= result.branches
+
+    def test_activity_vector_consistent(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem())
+        activity = result.activity
+        assert activity.cycles == result.cycles
+        assert activity.uops == result.uops
+        assert activity.l1_accesses >= activity.l2_accesses
+        assert activity.l2_accesses >= activity.llc_accesses
+
+    def test_window_cpi_trace(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem(), window_instructions=2000)
+        assert len(result.window_cpi) == len(gcc_trace) // 2000
+        for _, cpi in result.window_cpi:
+            assert cpi > 0
+
+    def test_mpki_reported_per_level(self, gcc_trace):
+        result = simulate(gcc_trace, nehalem())
+        assert len(result.mpki) == 3
+        assert result.mpki[0] >= result.mpki[2]
+
+
+class TestMemoryChannels:
+    def test_more_channels_help_bandwidth_bound(self, libquantum_trace):
+        one = simulate(libquantum_trace, replace(nehalem(),
+                                                 memory_channels=1))
+        two = simulate(libquantum_trace, replace(nehalem(),
+                                                 memory_channels=2))
+        assert two.cycles < one.cycles
+
+    def test_channels_neutral_for_compute_bound(self, gamess_trace):
+        one = simulate(gamess_trace, nehalem())
+        four = simulate(gamess_trace, replace(nehalem(),
+                                              memory_channels=4))
+        assert four.cycles <= one.cycles
+        assert four.cycles > one.cycles * 0.8

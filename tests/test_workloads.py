@@ -1,0 +1,152 @@
+"""Workload substrate tests: trace container, generator, the suite."""
+
+import pytest
+
+from repro.isa import MacroOp, UopKind
+from repro.workloads import (
+    Trace,
+    generate_trace,
+    make_suite,
+    make_workload,
+    workload_names,
+)
+from repro.workloads.generator import (
+    AluSpec,
+    BranchSpec,
+    KernelSpec,
+    LoadSpec,
+    StoreSpec,
+    WorkloadSpec,
+)
+
+
+class TestTraceContainer:
+    def test_length_and_iteration(self, gcc_trace):
+        assert len(gcc_trace) == sum(1 for _ in gcc_trace)
+
+    def test_slicing_returns_trace(self, gcc_trace):
+        sub = gcc_trace[100:200]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 100
+
+    def test_stats_consistency(self, gcc_trace):
+        stats = gcc_trace.stats()
+        assert stats.num_instructions == len(gcc_trace)
+        assert stats.num_uops >= stats.num_instructions
+        assert sum(stats.macro_mix.values()) == stats.num_instructions
+        assert sum(stats.uop_mix.values()) == stats.num_uops
+
+    def test_windows(self, gcc_trace):
+        windows = list(gcc_trace.windows(5000))
+        assert sum(len(w) for w in windows) == len(gcc_trace)
+
+
+class TestGenerator:
+    def test_exact_length(self):
+        spec = make_workload("gcc")
+        trace = generate_trace(spec, max_instructions=12345)
+        assert len(trace) == 12345
+
+    def test_deterministic_with_seed(self):
+        a = generate_trace(make_workload("gcc", seed=7),
+                           max_instructions=5000)
+        b = generate_trace(make_workload("gcc", seed=7),
+                           max_instructions=5000)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(make_workload("gcc", seed=1),
+                           max_instructions=5000)
+        b = generate_trace(make_workload("gcc", seed=2),
+                           max_instructions=5000)
+        assert list(a) != list(b)
+
+    def test_stride_pattern_addresses(self):
+        kernel = KernelSpec("k", [
+            LoadSpec(dst=1, pattern="stride", strides=(64,),
+                     region=1 << 20, base=0x1000),
+            BranchSpec(pattern="loop"),
+        ], iterations=10)
+        trace = generate_trace(WorkloadSpec("w", [kernel]))
+        addrs = [i.addr for i in trace if i.is_load]
+        assert addrs == [0x1000 + 64 * k for k in range(10)]
+
+    def test_multi_stride_cycles(self):
+        kernel = KernelSpec("k", [
+            LoadSpec(dst=1, pattern="multi_stride", strides=(4, 12),
+                     region=1 << 20, base=0),
+            BranchSpec(pattern="loop"),
+        ], iterations=5)
+        trace = generate_trace(WorkloadSpec("w", [kernel]))
+        addrs = [i.addr for i in trace if i.is_load]
+        assert addrs == [0, 4, 16, 20, 32]
+
+    def test_chase_loads_self_depend(self):
+        kernel = KernelSpec("k", [
+            LoadSpec(dst=3, pattern="chase", region=1 << 16, base=0),
+            BranchSpec(pattern="loop"),
+        ], iterations=5)
+        trace = generate_trace(WorkloadSpec("w", [kernel]))
+        loads = [i for i in trace if i.is_load]
+        assert all(i.src1 == 3 for i in loads)
+
+    def test_loop_branch_taken_until_last(self):
+        kernel = KernelSpec("k", [BranchSpec(pattern="loop")], iterations=5)
+        trace = generate_trace(WorkloadSpec("w", [kernel]))
+        outcomes = [i.taken for i in trace]
+        assert outcomes == [True, True, True, True, False]
+
+    def test_periodic_branch(self):
+        kernel = KernelSpec("k", [BranchSpec(pattern="periodic", period=3)],
+                            iterations=6)
+        trace = generate_trace(WorkloadSpec("w", [kernel]))
+        outcomes = [i.taken for i in trace]
+        assert outcomes == [True, False, False, True, False, False]
+
+    def test_unknown_pattern_rejected(self):
+        kernel = KernelSpec("k", [
+            LoadSpec(dst=1, pattern="fractal"),
+            BranchSpec(pattern="loop"),
+        ], iterations=1)
+        with pytest.raises(ValueError):
+            generate_trace(WorkloadSpec("w", [kernel]))
+
+
+class TestSuite:
+    def test_twenty_nine_workloads(self):
+        assert len(workload_names()) == 29
+
+    def test_all_buildable(self):
+        for spec in make_suite():
+            trace = generate_trace(spec, max_instructions=500)
+            assert len(trace) == 500
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("doom")
+
+    def test_uops_per_instruction_in_paper_range(self):
+        # Thesis Fig 3.1: SPEC CPU 2006 uop/instruction between ~1.05
+        # and ~1.4.
+        for name in workload_names():
+            trace = generate_trace(make_workload(name),
+                                   max_instructions=3000)
+            ratio = trace.stats().uops_per_instruction
+            assert 1.0 <= ratio <= 1.5, name
+
+    def test_suite_covers_behaviour_classes(self):
+        # The suite must include pointer chasing, streaming and compute
+        # behaviours for the figures to show spread.
+        chase = generate_trace(make_workload("mcf"), max_instructions=2000)
+        stream = generate_trace(make_workload("libquantum"),
+                                max_instructions=2000)
+        compute = generate_trace(make_workload("gamess"),
+                                 max_instructions=2000)
+        assert any(i.is_load and i.src1 == i.dst for i in chase)
+        assert stream.stats().uop_mix.get(UopKind.LOAD, 0) > 0
+        assert compute.stats().uop_mix.get(UopKind.FP_ALU, 0) > 0
+
+    def test_phased_workload_has_two_kernels(self):
+        spec = make_workload("astar")
+        assert len(spec.kernels) == 2
+        assert spec.rounds > 1
