@@ -7,6 +7,10 @@ over time, and use the stack to pick a targeted optimization (the
 libquantum discussion of Fig 7.1: the DRAM component dominates, so a
 bigger LLC does nothing -- more MSHRs / channels do).
 
+To chase a candidate optimization across a whole configuration space
+instead of hand-picked variants, feed the profiles to the SweepEngine
+(examples/parallel_sweep.py).
+
 Run:  python examples/cpi_stack_analysis.py
 """
 

@@ -6,6 +6,10 @@ design space with the analytical model -- hundreds of configurations in
 seconds because the profile was collected once -- and extract the
 performance/power Pareto frontier to shortlist interesting cores.
 
+The sweep runs on the SweepEngine, which memoizes per-profile
+intermediates across configurations; see examples/parallel_sweep.py for
+its multiprocessing, on-disk-cache and streaming modes.
+
 Run:  python examples/design_space_exploration.py
 """
 
@@ -14,12 +18,12 @@ import time
 from repro import (
     AnalyticalModel,
     SamplingConfig,
+    SweepEngine,
     generate_trace,
     make_workload,
     profile_application,
 )
 from repro.core.machine import design_space
-from repro.explore.dse import evaluate_design_space
 from repro.explore.pareto import pareto_front
 
 WORKLOADS = ["bzip2", "calculix"]  # the thesis' Fig 7.4 pair
@@ -40,7 +44,8 @@ def main() -> None:
     print(f"evaluating {len(configs)} configurations x "
           f"{len(WORKLOADS)} workloads ...")
     started = time.time()
-    results = evaluate_design_space(profiles, configs, AnalyticalModel())
+    engine = SweepEngine(model=AnalyticalModel())
+    results = engine.sweep(profiles, configs)
     elapsed = time.time() - started
     total = len(configs) * len(WORKLOADS)
     print(f"done: {total} model evaluations in {elapsed:.1f} s "

@@ -5,6 +5,10 @@ Reproduces the application studies of thesis §7.2-7.3: find the ED^2P-
 optimal DVFS operating point for a workload (Table 7.2 / Fig 7.3) and
 pick the fastest core under a power budget (Table 7.1).
 
+For large DVFS grids or many workloads, explore_dvfs accepts an
+``engine=SweepEngine(...)`` argument to share the sweep engine's
+worker pool and caches (see examples/parallel_sweep.py).
+
 Run:  python examples/dvfs_and_power_budget.py
 """
 

@@ -9,6 +9,10 @@ Demonstrates the paper's core flow:
    milliseconds;
 4. cross-check against the cycle-level reference simulator.
 
+Next steps: examples/design_space_exploration.py sweeps whole design
+spaces, and examples/parallel_sweep.py shows the SweepEngine's
+parallel, cached and streaming sweep modes.
+
 Run:  python examples/quickstart.py
 """
 

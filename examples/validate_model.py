@@ -4,7 +4,9 @@
 Produces the Fig 6.1-style comparison table for a chosen slice of the
 workload suite: per-benchmark simulated vs predicted CPI, the error, the
 predicted MLP and the limiting dispatch factor.  Use this script when
-changing the model to see where accuracy moves.
+changing the model to see where accuracy moves.  (The simulator is the
+slow side here; model-only sweeps go through the SweepEngine instead --
+see examples/parallel_sweep.py.)
 
 Run:  python examples/validate_model.py [workload ...]
 """

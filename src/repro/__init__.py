@@ -43,6 +43,8 @@ from repro.core.model import ModelResult
 from repro.simulator import SimulationResult, simulate
 from repro.explore import (
     EmpiricalModel,
+    StreamingParetoFront,
+    SweepEngine,
     evaluate_design_space,
     pareto_front,
     pareto_metrics,
@@ -72,6 +74,8 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "EmpiricalModel",
+    "StreamingParetoFront",
+    "SweepEngine",
     "evaluate_design_space",
     "pareto_front",
     "pareto_metrics",

@@ -14,6 +14,8 @@ Examples::
     python -m repro.cli predict gcc.profile --width 2 --rob 64 --llc-mb 2
     python -m repro.cli simulate gcc --instructions 50000
     python -m repro.cli sweep gcc.profile
+    python -m repro.cli sweep gcc.profile mcf.profile \\
+        --workers 4 --cache .profile-cache
 """
 
 from __future__ import annotations
@@ -26,10 +28,15 @@ from typing import List, Optional
 from repro.caches.cache import CacheConfig
 from repro.core import AnalyticalModel, nehalem
 from repro.core.machine import MachineConfig, design_space
-from repro.explore.dse import evaluate_design_space
-from repro.explore.pareto import pareto_front
+from repro.explore.dse import best_average_config
+from repro.explore.engine import SweepEngine
+from repro.explore.pareto import StreamingParetoFront
 from repro.profiler import SamplingConfig, profile_application
-from repro.profiler.serialization import load_profile, save_profile
+from repro.profiler.serialization import (
+    ProfileStore,
+    load_profile,
+    save_profile,
+)
 from repro.simulator import simulate
 from repro.workloads import generate_trace, make_workload, workload_names
 
@@ -77,7 +84,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
         make_workload(args.workload, seed=args.seed),
         max_instructions=args.instructions,
     )
-    sampling = SamplingConfig(args.micro_trace, args.window)
+    sampling = SamplingConfig(
+        args.micro_trace,
+        args.window,
+        reuse_sample_rate=args.reuse_sample_rate,
+        reuse_seed=args.reuse_seed,
+    )
     profile = profile_application(trace, sampling)
     save_profile(profile, args.output)
     print(f"profiled {profile.num_instructions} instructions of "
@@ -126,21 +138,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    profile = load_profile(args.profile)
+    profiles = [load_profile(path) for path in args.profiles]
     configs = design_space()
     if args.limit:
         configs = configs[:args.limit]
-    results = evaluate_design_space([profile], configs)
-    points = results[profile.name]
-    coordinates = [(p.seconds, p.power_watts) for p in points]
-    frontier = sorted(pareto_front(coordinates),
-                      key=lambda i: coordinates[i][0])
-    print(f"{len(points)} designs evaluated; "
-          f"{len(frontier)} Pareto-optimal:")
-    for index in frontier:
-        point = points[index]
-        print(f"  {point.config.name:<32s} {point.seconds * 1e6:9.1f} us "
-              f"{point.power_watts:7.2f} W  CPI {point.cpi:5.2f}")
+    store = ProfileStore(args.cache) if args.cache else None
+    engine = SweepEngine(workers=args.workers, store=store)
+
+    # Stream the sweep: Pareto frontiers fold incrementally per
+    # workload, so partial results are usable the moment they arrive.
+    frontiers = {p.name: StreamingParetoFront() for p in profiles}
+    results = {p.name: [] for p in profiles}
+    for point in engine.iter_sweep(profiles, configs):
+        results[point.workload].append(point)
+        frontiers[point.workload].add_point(point)
+
+    for profile in profiles:
+        points = results[profile.name]
+        frontier = frontiers[profile.name].frontier()
+        print(f"{profile.name}: {len(points)} designs evaluated; "
+              f"{len(frontier)} Pareto-optimal:")
+        for _, _, point in frontier:
+            print(f"  {point.config.name:<32s} "
+                  f"{point.seconds * 1e6:9.1f} us "
+                  f"{point.power_watts:7.2f} W  CPI {point.cpi:5.2f}")
+    if len(profiles) > 1:
+        print("best average config: "
+              f"{best_average_config(results)}")
     return 0
 
 
@@ -167,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--micro-trace", type=int, default=1000)
     sub.add_argument("--window", type=int, default=5000)
     sub.add_argument("--seed", type=int, default=42)
+    sub.add_argument("--reuse-sample-rate", type=float, default=1.0,
+                     help="fraction of accesses recorded by the reuse "
+                          "pass (StatStack burst sampling)")
+    sub.add_argument("--reuse-seed", type=int, default=0,
+                     help="seed of the reuse-sampling RNG")
     sub.set_defaults(func=cmd_profile)
 
     sub = subparsers.add_parser("predict",
@@ -187,9 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser("sweep",
                                 help="design-space sweep + Pareto front")
-    sub.add_argument("profile")
+    sub.add_argument("profiles", nargs="+", metavar="profile",
+                     help="one or more profile files from 'profile'")
     sub.add_argument("--limit", type=int, default=0,
                      help="evaluate only the first N configurations")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = serial)")
+    sub.add_argument("--cache", default=None, metavar="DIR",
+                     help="profile-store directory for cached "
+                          "StatStack tables")
     sub.set_defaults(func=cmd_sweep)
 
     return parser

@@ -20,7 +20,7 @@ independent profile:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.branch import branch_resolution_time
 from repro.core.dispatch import DispatchLimits, effective_dispatch_rate
@@ -44,6 +44,59 @@ from repro.profiler.profile import ApplicationProfile, MicroTraceProfile
 STACK_COMPONENTS: Tuple[str, ...] = (
     "base", "branch", "icache", "llc_chain", "dram"
 )
+
+
+class ModelCache:
+    """Cross-configuration memo of micro-architecture independent work.
+
+    Most of the interval model's per-(profile, config) cost is spent in
+    computations whose inputs are a micro-trace plus a *small subset* of
+    configuration fields: the branch resolution leaky bucket, the virtual
+    load stream, the dispatch limits, and StatStack miss-ratio queries.
+    Across a design-space grid those subsets collide constantly (a 243-
+    config space has only 3 distinct LLC sizes), so memoizing on the
+    exact dependency set collapses thousands of evaluations into a few
+    dozen.
+
+    Every key used by :class:`IntervalModel` enumerates *all* the inputs
+    the computation reads, so a cache hit returns a value bitwise
+    identical to recomputing it -- the cache changes wall-clock time,
+    never results.  Profile-scoped keys use the profile's identity; the
+    cache pins a reference to each profile it has seen so ``id`` reuse
+    after garbage collection cannot alias keys.
+
+    A cache is typically owned by one sweep (the sweep engine attaches a
+    fresh one per run / per worker process); share one across sweeps only
+    while the profile objects stay alive.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Dict[Tuple, object] = {}
+        self._pins: Dict[int, object] = {}
+
+    def token(self, profile: "ApplicationProfile") -> int:
+        """A key component identifying ``profile`` for this cache's life."""
+        ident = id(profile)
+        if ident not in self._pins:
+            self._pins[ident] = profile
+        return ident
+
+    def get(self, key: Tuple, compute: Callable[[], object]) -> object:
+        """The memoized value for ``key``, computing it on first use."""
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = compute()
+            self._memo[key] = value
+            return value
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def clear(self) -> None:
+        """Drop all memoized values and pinned profiles."""
+        self._memo.clear()
+        self._pins.clear()
 
 
 @dataclass
@@ -114,7 +167,23 @@ DEFAULT_ENTROPY_MODEL = EntropyMissRateModel(
 
 
 class IntervalModel:
-    """Evaluates the interval equation for profiles and configurations."""
+    """Evaluates the interval equation for profiles and configurations.
+
+    Parameters
+    ----------
+    entropy_model:
+        Branch predictor miss-rate model; defaults to the generic linear
+        entropy fit.
+    mlp_model:
+        ``"stride"`` (CAL'18 virtual stream), ``"cold"`` (ISPASS'15
+        cold-window model) or ``"none"`` (serialize all misses).
+    enable_llc_chaining / enable_mshr / enable_bus:
+        Feature toggles for the corresponding penalty terms.
+    cache:
+        Optional :class:`ModelCache` memoizing micro-architecture
+        independent intermediates across configurations.  Results are
+        bitwise identical with or without it.
+    """
 
     def __init__(
         self,
@@ -123,6 +192,7 @@ class IntervalModel:
         enable_llc_chaining: bool = True,
         enable_mshr: bool = True,
         enable_bus: bool = True,
+        cache: Optional[ModelCache] = None,
     ) -> None:
         if mlp_model not in ("stride", "cold", "none"):
             raise ValueError("mlp_model must be 'stride', 'cold' or 'none'")
@@ -131,6 +201,13 @@ class IntervalModel:
         self.enable_llc_chaining = enable_llc_chaining
         self.enable_mshr = enable_mshr
         self.enable_bus = enable_bus
+        self.cache = cache
+
+    def _memo(self, key: Tuple, compute: Callable[[], object]) -> object:
+        """Memoize through the attached cache, or just compute."""
+        if self.cache is None:
+            return compute()
+        return self.cache.get(key, compute)
 
     # ------------------------------------------------------------------
 
@@ -155,8 +232,13 @@ class IntervalModel:
         n_uops = float(mix.num_uops)
         n_instr = float(mix.num_instructions)
         statstack = profile.statstack()
+        tok = self.cache.token(profile) if self.cache is not None else 0
 
-        limits = effective_dispatch_rate(mix, micro.chains, config)
+        limits = self._memo(
+            ("limits", tok, micro.start, config.dispatch_width,
+             config.rob_size, config.ports, config.uop_latencies),
+            lambda: effective_dispatch_rate(mix, micro.chains, config),
+        )
         deff = limits.effective()
         base = n_uops / deff
 
@@ -166,36 +248,48 @@ class IntervalModel:
         branch_cycles = 0.0
         if mispredictions > 0.0:
             interval_uops = n_uops / mispredictions
-            resolution = branch_resolution_time(
-                micro.chains,
-                mix.average_latency(config.latencies()),
-                interval_uops,
-                config,
+            average_latency = mix.average_latency(config.latencies())
+            resolution = self._memo(
+                ("branch", tok, micro.start, average_latency,
+                 interval_uops, config.dispatch_width, config.rob_size),
+                lambda: branch_resolution_time(
+                    micro.chains, average_latency, interval_uops, config
+                ),
             )
             branch_cycles = mispredictions * (
                 resolution + config.frontend_refill
             )
 
         # --- Instruction cache ------------------------------------------
-        instruction_statstack = profile.instruction_statstack()
-        i_ratios = instruction_statstack.hierarchy_miss_ratios(
-            [config.l1i.size_bytes, config.l2.size_bytes,
-             config.llc.size_bytes],
-            kind="load",
+        i_sizes = (config.l1i.size_bytes, config.l2.size_bytes,
+                   config.llc.size_bytes)
+        i_ratios = self._memo(
+            ("iratios", tok) + i_sizes,
+            lambda: profile.instruction_statstack().hierarchy_miss_ratios(
+                list(i_sizes), kind="load"
+            ),
         )
         icache_cycles = icache_penalty(n_instr, i_ratios, config)
 
         # --- Data cache misses -------------------------------------------
         loads = float(mix.counts.get(UopKind.LOAD, 0))
         stores = float(mix.counts.get(UopKind.STORE, 0))
-        ratio_l2 = statstack.miss_ratio_of(
-            micro.load_reuse, micro.cold_loads, config.l2.size_bytes
-        )
-        ratio_llc = statstack.miss_ratio_of(
-            micro.load_reuse, micro.cold_loads, config.llc.size_bytes
-        )
-        store_ratio_llc = statstack.miss_ratio_of(
-            micro.store_reuse, micro.cold_stores, config.llc.size_bytes
+
+        def _load_ratio(size: int) -> float:
+            return self._memo(
+                ("dratio", tok, micro.start, "load", size),
+                lambda: statstack.miss_ratio_of(
+                    micro.load_reuse, micro.cold_loads, size
+                ),
+            )
+
+        ratio_l2 = _load_ratio(config.l2.size_bytes)
+        ratio_llc = _load_ratio(config.llc.size_bytes)
+        store_ratio_llc = self._memo(
+            ("dratio", tok, micro.start, "store", config.llc.size_bytes),
+            lambda: statstack.miss_ratio_of(
+                micro.store_reuse, micro.cold_stores, config.llc.size_bytes
+            ),
         )
         m_l2 = ratio_l2 * loads
         m_llc = ratio_llc * loads
@@ -203,14 +297,36 @@ class IntervalModel:
         llc_hits = max(0.0, m_l2 - m_llc)
 
         # --- MLP ----------------------------------------------------------
-        f_l = micro.memory.load_dependence_distribution()
+        f_l = self._memo(
+            ("fl", tok, micro.start),
+            lambda: micro.memory.load_dependence_distribution(),
+        )
         if self.mlp_model == "stride":
-            stream = build_virtual_stream(
-                micro.memory, statstack, config, deff=deff,
-                load_reuse_by_pc=micro.load_reuse_by_pc,
-                cold_by_pc=micro.cold_by_pc,
-            )
-            result = stride_mlp(stream, f_l, config, deff=deff)
+            # With the prefetcher off, the virtual stream and its MLP
+            # depend only on the listed fields, so both memoize across
+            # configurations; prefetching adds deff/table/page/timing
+            # dependencies, so that path always recomputes.
+            def _build_stream():
+                return build_virtual_stream(
+                    micro.memory, statstack, config, deff=deff,
+                    load_reuse_by_pc=micro.load_reuse_by_pc,
+                    cold_by_pc=micro.cold_by_pc,
+                )
+
+            if config.prefetch:
+                stream = _build_stream()
+                result = stride_mlp(stream, f_l, config, deff=deff)
+            else:
+                stream = self._memo(
+                    ("stream", tok, micro.start, config.llc.size_bytes),
+                    _build_stream,
+                )
+                result = self._memo(
+                    ("smlp", tok, micro.start, config.llc.size_bytes,
+                     config.rob_size, config.mshr_entries,
+                     config.llc.latency, config.dram_latency, deff),
+                    lambda: stride_mlp(stream, f_l, config, deff=deff),
+                )
             if config.prefetch:
                 # The virtual stream carries the prefetch-adjusted miss
                 # weights; rescale StatStack's count by that reduction.

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.interval import IntervalModel, Prediction
+from repro.core.interval import IntervalModel, ModelCache, Prediction
 from repro.core.machine import MachineConfig
 from repro.core.power import ActivityVector, PowerBreakdown, PowerModel
 from repro.frontend.entropy import EntropyMissRateModel
@@ -20,7 +20,20 @@ from repro.profiler.profile import ApplicationProfile
 
 @dataclass
 class ModelResult:
-    """Performance + power prediction for one (workload, config) pair."""
+    """Performance + power prediction for one (workload, config) pair.
+
+    Attributes
+    ----------
+    performance:
+        The interval-model performance prediction (cycles, CPI stack,
+        per-window breakdown).
+    power:
+        The power breakdown evaluated at the predicted activity.
+    activity:
+        The activity factors derived from the performance prediction.
+    energy_joules / edp / ed2p:
+        Energy, energy-delay and energy-delay-squared products.
+    """
 
     performance: Prediction
     power: PowerBreakdown
@@ -33,24 +46,30 @@ class ModelResult:
 
     @property
     def cpi(self) -> float:
+        """Predicted cycles per instruction."""
         return self.performance.cpi
 
     @property
     def cycles(self) -> float:
+        """Predicted total cycle count."""
         return self.performance.cycles
 
     @property
     def seconds(self) -> float:
+        """Predicted wall-clock execution time in seconds."""
         return self.performance.seconds
 
     @property
     def power_watts(self) -> float:
+        """Predicted total power draw in watts."""
         return self.power.total
 
     def cpi_stack(self) -> Dict[str, float]:
+        """The CPI stack, normalized to cycles per instruction."""
         return self.performance.cpi_stack()
 
     def power_stack(self) -> Dict[str, float]:
+        """The power breakdown per component, in watts."""
         return self.power.stack()
 
 
@@ -58,11 +77,29 @@ def derive_activity(
     profile: ApplicationProfile,
     prediction: Prediction,
     config: MachineConfig,
+    cache: Optional[ModelCache] = None,
 ) -> ActivityVector:
     """Predicted activity factors from the profile + prediction (Eq 3.16).
 
     Cache access counts cascade through the StatStack miss ratios; the
     instruction stream contributes L1I lookups and its own L2/LLC traffic.
+
+    Parameters
+    ----------
+    profile:
+        The micro-architecture independent application profile.
+    prediction:
+        The interval-model performance prediction for this pair.
+    config:
+        The machine configuration being evaluated.
+    cache:
+        Optional :class:`ModelCache`; memoizes the per-level StatStack
+        miss-ratio queries across configurations sharing cache sizes.
+
+    Returns
+    -------
+    ActivityVector
+        Per-structure access counts for the power model.
     """
     statstack = profile.statstack()
     instruction_statstack = profile.instruction_statstack()
@@ -77,15 +114,22 @@ def derive_activity(
     branches = mix.counts.get(UopKind.BRANCH, 0) * scale
     instructions = prediction.instructions
 
-    sizes = [config.l1d.size_bytes, config.l2.size_bytes,
-             config.llc.size_bytes]
-    load_ratios = statstack.hierarchy_miss_ratios(sizes, kind="load")
-    store_ratios = statstack.hierarchy_miss_ratios(sizes, kind="store")
-    i_sizes = [config.l1i.size_bytes, config.l2.size_bytes,
-               config.llc.size_bytes]
-    i_ratios = instruction_statstack.hierarchy_miss_ratios(
-        i_sizes, kind="load"
-    )
+    def _ratios(model, stream, kind, sizes):
+        if cache is None:
+            return model.hierarchy_miss_ratios(list(sizes), kind=kind)
+        return cache.get(
+            ("activity", cache.token(profile), stream, kind)
+            + tuple(sizes),
+            lambda: model.hierarchy_miss_ratios(list(sizes), kind=kind),
+        )
+
+    sizes = (config.l1d.size_bytes, config.l2.size_bytes,
+             config.llc.size_bytes)
+    load_ratios = _ratios(statstack, "data", "load", sizes)
+    store_ratios = _ratios(statstack, "data", "store", sizes)
+    i_sizes = (config.l1i.size_bytes, config.l2.size_bytes,
+               config.llc.size_bytes)
+    i_ratios = _ratios(instruction_statstack, "instr", "load", i_sizes)
 
     l1_data = loads + stores
     l2_data = loads * load_ratios[0] + stores * store_ratios[0]
@@ -111,7 +155,28 @@ def derive_activity(
 
 
 class AnalyticalModel:
-    """Top-level model: one profile, any number of configurations."""
+    """Top-level model: one profile, any number of configurations.
+
+    Parameters
+    ----------
+    entropy_model:
+        Branch predictor miss-rate model; defaults to the generic linear
+        entropy fit.
+    mlp_model:
+        MLP estimator: ``"stride"``, ``"cold"`` or ``"none"``.
+    enable_llc_chaining / enable_mshr / enable_bus:
+        Toggles for the corresponding interval-model penalty terms.
+    cache:
+        Optional :class:`~repro.core.interval.ModelCache` shared by the
+        performance and activity derivations.  Purely a performance
+        lever: predictions are bitwise identical with or without it.
+
+    Examples
+    --------
+    >>> model = AnalyticalModel()                      # doctest: +SKIP
+    >>> result = model.predict(profile, nehalem())     # doctest: +SKIP
+    >>> result.cpi, result.power_watts                 # doctest: +SKIP
+    """
 
     def __init__(
         self,
@@ -120,6 +185,7 @@ class AnalyticalModel:
         enable_llc_chaining: bool = True,
         enable_mshr: bool = True,
         enable_bus: bool = True,
+        cache: Optional[ModelCache] = None,
     ) -> None:
         self.interval = IntervalModel(
             entropy_model=entropy_model,
@@ -127,18 +193,59 @@ class AnalyticalModel:
             enable_llc_chaining=enable_llc_chaining,
             enable_mshr=enable_mshr,
             enable_bus=enable_bus,
+            cache=cache,
         )
+
+    @property
+    def cache(self) -> Optional[ModelCache]:
+        """The attached :class:`ModelCache`, or ``None``."""
+        return self.interval.cache
+
+    @cache.setter
+    def cache(self, value: Optional[ModelCache]) -> None:
+        """Attach (or detach, with ``None``) a :class:`ModelCache`."""
+        self.interval.cache = value
 
     def predict_performance(
         self, profile: ApplicationProfile, config: MachineConfig
     ) -> Prediction:
+        """Performance-only prediction (skips the power backend).
+
+        Parameters
+        ----------
+        profile:
+            The application profile.
+        config:
+            The machine configuration.
+
+        Returns
+        -------
+        Prediction
+            Cycles, CPI stack and per-window breakdown.
+        """
         return self.interval.predict(profile, config)
 
     def predict(
         self, profile: ApplicationProfile, config: MachineConfig
     ) -> ModelResult:
+        """Full performance + power prediction for one pair.
+
+        Parameters
+        ----------
+        profile:
+            The application profile.
+        config:
+            The machine configuration.
+
+        Returns
+        -------
+        ModelResult
+            Performance, power, activity and energy metrics.
+        """
         prediction = self.interval.predict(profile, config)
-        activity = derive_activity(profile, prediction, config)
+        activity = derive_activity(
+            profile, prediction, config, cache=self.interval.cache
+        )
         power_model = PowerModel(config)
         breakdown = power_model.evaluate(activity)
         return ModelResult(

@@ -1,9 +1,11 @@
 """Design-space exploration tooling (thesis Chapters 6--7).
 
-Sweeps the analytical model over configuration spaces, extracts Pareto
-frontiers, scores them against simulation with the thesis' four metrics
-(sensitivity / specificity / accuracy / HVR), explores DVFS operating
-points, and provides the empirical-regression baseline of §7.5 and the
+Sweeps the analytical model over configuration spaces (serially or on a
+:class:`~repro.explore.engine.SweepEngine` worker pool with profile
+caching), extracts Pareto frontiers (batch or streaming), scores them
+against simulation with the thesis' four metrics (sensitivity /
+specificity / accuracy / HVR), explores DVFS operating points, and
+provides the empirical-regression baseline of §7.5 and the
 evaluation-cost model behind the 315x / 18x speedup claims.
 """
 
@@ -14,8 +16,10 @@ from repro.explore.dse import (
     evaluate_design_space,
     error_statistics,
 )
+from repro.explore.engine import SweepEngine
 from repro.explore.pareto import (
     ParetoMetrics,
+    StreamingParetoFront,
     hypervolume,
     hvr,
     pareto_front,
@@ -37,11 +41,13 @@ from repro.explore.cost import (
 
 __all__ = [
     "DesignPoint",
+    "SweepEngine",
     "best_average_config",
     "best_config_per_workload",
     "evaluate_design_space",
     "error_statistics",
     "ParetoMetrics",
+    "StreamingParetoFront",
     "hypervolume",
     "hvr",
     "pareto_front",

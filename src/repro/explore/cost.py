@@ -29,10 +29,12 @@ class EvaluationCost:
 
     @property
     def hours(self) -> float:
+        """The cost in hours."""
         return self.seconds / 3600.0
 
     @property
     def days(self) -> float:
+        """The cost in days."""
         return self.seconds / 86400.0
 
 

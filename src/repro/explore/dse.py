@@ -1,4 +1,10 @@
-"""Design-space sweeps and error statistics (thesis §6.2.4, §6.3.2)."""
+"""Design-space sweeps and error statistics (thesis §6.2.4, §6.3.2).
+
+:func:`evaluate_design_space` is kept as a thin compatibility shim over
+the batched :class:`~repro.explore.engine.SweepEngine`; new code that
+wants parallel workers, on-disk profile caching or streaming results
+should use the engine directly.
+"""
 
 from __future__ import annotations
 
@@ -12,7 +18,17 @@ from repro.profiler.profile import ApplicationProfile
 
 @dataclass
 class DesignPoint:
-    """One (workload, configuration) evaluation."""
+    """One (workload, configuration) evaluation.
+
+    Attributes
+    ----------
+    workload:
+        Name of the profiled application.
+    config:
+        The machine configuration evaluated.
+    result:
+        The full :class:`~repro.core.model.ModelResult` prediction.
+    """
 
     workload: str
     config: MachineConfig
@@ -20,18 +36,22 @@ class DesignPoint:
 
     @property
     def cpi(self) -> float:
+        """Predicted cycles per instruction."""
         return self.result.cpi
 
     @property
     def seconds(self) -> float:
+        """Predicted wall-clock execution time in seconds."""
         return self.result.seconds
 
     @property
     def power_watts(self) -> float:
+        """Predicted average power draw in watts."""
         return self.result.power_watts
 
     @property
     def energy_joules(self) -> float:
+        """Predicted total energy in joules."""
         return self.result.energy_joules
 
 
@@ -40,32 +60,46 @@ def evaluate_design_space(
     configs: Sequence[MachineConfig],
     model: Optional[AnalyticalModel] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    workers: int = 1,
+    store=None,
 ) -> Dict[str, List[DesignPoint]]:
     """Evaluate every profile against every configuration.
 
     This is the operation the micro-architecture independent profile makes
     cheap: the profiles were collected once; each (workload, config)
     evaluation is a pure model computation.
+
+    Compatibility shim over :class:`~repro.explore.engine.SweepEngine`
+    (serial by default); results are bitwise identical to the historical
+    serial loop for any worker count.
+
+    Parameters
+    ----------
+    profiles:
+        Application profiles to evaluate (one per workload).
+    configs:
+        Machine configurations forming the design space.
+    model:
+        Analytical model instance; defaults to a fresh one.
+    progress:
+        Optional ``progress(done, total)`` callback per design point.
+    workers:
+        Worker processes for the underlying engine; 1 = serial.
+    store:
+        Optional :class:`~repro.profiler.serialization.ProfileStore`
+        for on-disk profile/intermediate caching.
+
+    Returns
+    -------
+    dict of str to list of DesignPoint
+        Per-workload design points, in configuration order.
     """
-    model = model or AnalyticalModel()
-    results: Dict[str, List[DesignPoint]] = {}
-    total = len(profiles) * len(configs)
-    done = 0
-    for profile in profiles:
-        points: List[DesignPoint] = []
-        for config in configs:
-            points.append(
-                DesignPoint(
-                    workload=profile.name,
-                    config=config,
-                    result=model.predict(profile, config),
-                )
-            )
-            done += 1
-            if progress is not None:
-                progress(done, total)
-        results[profile.name] = points
-    return results
+    from repro.explore.engine import SweepEngine
+
+    engine = SweepEngine(
+        model=model, workers=workers, store=store, progress=progress
+    )
+    return engine.sweep(profiles, configs)
 
 
 def best_config_per_workload(
@@ -74,7 +108,17 @@ def best_config_per_workload(
 ) -> Dict[str, DesignPoint]:
     """The application-specific optimum per workload (thesis Fig 7.2).
 
-    ``metric`` is minimized; defaults to CPI.
+    Parameters
+    ----------
+    results:
+        Per-workload design points from a sweep.
+    metric:
+        Scalar to minimize per point; defaults to CPI.
+
+    Returns
+    -------
+    dict of str to DesignPoint
+        The metric-minimizing point for each workload.
     """
     return {
         workload: min(points, key=metric)
@@ -89,8 +133,25 @@ def best_average_config(
     """The general-purpose core: best average metric across workloads.
 
     All workloads must have been evaluated over the same configuration
-    list (as :func:`evaluate_design_space` guarantees).  Returns the
-    winning configuration's name.
+    list (as :func:`evaluate_design_space` guarantees).
+
+    Parameters
+    ----------
+    results:
+        Per-workload design points, all over the same config list.
+    metric:
+        Scalar to average and minimize; defaults to CPI.
+
+    Returns
+    -------
+    str
+        The winning configuration's name.
+
+    Raises
+    ------
+    ValueError
+        If ``results`` is empty or the workloads were evaluated over
+        differently-sized spaces.
     """
     if not results:
         raise ValueError("no design-space results")
@@ -109,7 +170,17 @@ def best_average_config(
 
 @dataclass
 class ErrorStats:
-    """Absolute-relative-error summary across a set of pairs."""
+    """Absolute-relative-error summary across a set of pairs.
+
+    Attributes
+    ----------
+    mean / maximum:
+        Mean and maximum absolute relative error.
+    count:
+        Number of pairs with a nonzero reference.
+    per_item:
+        ``(label, error)`` per contributing pair.
+    """
 
     mean: float
     maximum: float
@@ -122,7 +193,26 @@ def error_statistics(
     reference: Sequence[float],
     labels: Optional[Sequence[str]] = None,
 ) -> ErrorStats:
-    """Mean/max absolute relative error of predictions vs references."""
+    """Mean/max absolute relative error of predictions vs references.
+
+    Parameters
+    ----------
+    predicted / reference:
+        Aligned value sequences; pairs with a zero reference are
+        skipped.
+    labels:
+        Optional per-pair labels for :attr:`ErrorStats.per_item`.
+
+    Returns
+    -------
+    ErrorStats
+        The error summary.
+
+    Raises
+    ------
+    ValueError
+        If the sequences have different lengths.
+    """
     if len(predicted) != len(reference):
         raise ValueError("length mismatch")
     errors: List[Tuple[str, float]] = []

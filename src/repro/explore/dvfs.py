@@ -27,22 +27,27 @@ class DVFSResult:
 
     @property
     def seconds(self) -> float:
+        """Predicted execution time at this operating point."""
         return self.result.seconds
 
     @property
     def power_watts(self) -> float:
+        """Predicted average power at this operating point."""
         return self.result.power_watts
 
     @property
     def energy_joules(self) -> float:
+        """Predicted total energy at this operating point."""
         return self.result.energy_joules
 
     @property
     def edp(self) -> float:
+        """Energy-delay product at this operating point."""
         return self.result.edp
 
     @property
     def ed2p(self) -> float:
+        """Energy-delay-squared product at this operating point."""
         return self.result.ed2p
 
 
@@ -72,16 +77,44 @@ def explore_dvfs(
     base: MachineConfig,
     points: Optional[Sequence[DVFSPoint]] = None,
     model: Optional[AnalyticalModel] = None,
+    engine=None,
 ) -> List[DVFSResult]:
-    """Evaluate the model at each DVFS point (Table 7.2 / Fig 7.3)."""
+    """Evaluate the model at each DVFS point (Table 7.2 / Fig 7.3).
+
+    Parameters
+    ----------
+    profile:
+        The application profile.
+    base:
+        The machine to re-clock.
+    points:
+        DVFS operating points; defaults to the Table 7.2 grid.
+    model:
+        Analytical model; defaults to a fresh one.  Ignored when
+        ``engine`` is given.
+    engine:
+        Optional :class:`~repro.explore.engine.SweepEngine`; the grid is
+        then evaluated through the engine (sharing its caches and
+        worker pool) instead of a local serial loop.
+
+    Returns
+    -------
+    list of DVFSResult
+        One result per operating point, in ``points`` order.
+    """
+    points = list(points or dvfs_points())
+    configs = [config_at(base, point) for point in points]
+    if engine is not None:
+        stream = engine.iter_sweep([profile], configs)
+        return [
+            DVFSResult(point=point, result=design_point.result)
+            for point, design_point in zip(points, stream)
+        ]
     model = model or AnalyticalModel()
-    points = points or dvfs_points()
-    results: List[DVFSResult] = []
-    for point in points:
-        config = config_at(base, point)
-        results.append(DVFSResult(point=point,
-                                  result=model.predict(profile, config)))
-    return results
+    return [
+        DVFSResult(point=point, result=model.predict(profile, config))
+        for point, config in zip(points, configs)
+    ]
 
 
 def optimal_ed2p(results: Sequence[DVFSResult]) -> DVFSResult:

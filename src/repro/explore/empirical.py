@@ -14,7 +14,7 @@ mechanistic model unless trained on a dense sample of the same space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +24,18 @@ from repro.isa import UopKind
 
 
 def config_features(config: MachineConfig) -> List[float]:
-    """Numeric features of a machine configuration."""
+    """Numeric features of a machine configuration.
+
+    Parameters
+    ----------
+    config:
+        The machine configuration to featurize.
+
+    Returns
+    -------
+    list of float
+        Width, log-sizes, frequency and MSHR count.
+    """
     return [
         float(config.dispatch_width),
         float(np.log2(config.rob_size)),
@@ -37,7 +48,19 @@ def config_features(config: MachineConfig) -> List[float]:
 
 
 def workload_features(profile: ApplicationProfile) -> List[float]:
-    """Numeric micro-architecture independent workload features."""
+    """Numeric micro-architecture independent workload features.
+
+    Parameters
+    ----------
+    profile:
+        The application profile to featurize.
+
+    Returns
+    -------
+    list of float
+        Mix fractions, chain lengths, branch entropy and StatStack
+        miss ratios at three cache sizes.
+    """
     mix = profile.mix
     statstack = profile.statstack()
     mb = 1024 * 1024
@@ -82,11 +105,69 @@ class EmpiricalModel:
         pairs = np.outer(z, z)[np.triu_indices(len(z))]
         return np.concatenate([[1.0], z, pairs])
 
+    def fit_sweep(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+        engine=None,
+        target: Optional[Callable[["object"], float]] = None,
+    ) -> "EmpiricalModel":
+        """Fit on a (profiles x configs) grid evaluated by the engine.
+
+        The thesis trains its empirical baseline on simulated samples;
+        this helper generates the training targets from the mechanistic
+        model instead, streaming the grid through a
+        :class:`~repro.explore.engine.SweepEngine` so large training
+        sets benefit from its batching, workers and profile caches.
+
+        Parameters
+        ----------
+        profiles / configs:
+            The training grid.
+        engine:
+            Optional sweep engine; a serial default is built when
+            omitted.
+        target:
+            Maps a :class:`~repro.explore.dse.DesignPoint` to the
+            regression target; defaults to CPI.
+
+        Returns
+        -------
+        EmpiricalModel
+            ``self``, fitted.
+        """
+        from repro.explore.engine import SweepEngine
+
+        engine = engine if engine is not None else SweepEngine()
+        metric = target if target is not None else (lambda p: p.cpi)
+        by_name = {profile.name: profile for profile in profiles}
+        samples = [
+            (by_name[point.workload], point.config, metric(point))
+            for point in engine.iter_sweep(profiles, configs)
+        ]
+        return self.fit(samples)
+
     def fit(
         self,
         samples: Sequence[Tuple[ApplicationProfile, MachineConfig, float]],
     ) -> "EmpiricalModel":
-        """Least-squares fit with L2 regularization."""
+        """Least-squares fit with L2 regularization.
+
+        Parameters
+        ----------
+        samples:
+            ``(profile, config, target)`` training triples; at least 3.
+
+        Returns
+        -------
+        EmpiricalModel
+            ``self``, fitted.
+
+        Raises
+        ------
+        ValueError
+            With fewer than 3 samples.
+        """
         if len(samples) < 3:
             raise ValueError("need at least 3 training samples")
         raw = np.array(
@@ -105,6 +186,23 @@ class EmpiricalModel:
     def predict(
         self, profile: ApplicationProfile, config: MachineConfig
     ) -> float:
+        """Predict the fitted target for one (profile, config) pair.
+
+        Parameters
+        ----------
+        profile / config:
+            The pair to evaluate.
+
+        Returns
+        -------
+        float
+            The regression prediction.
+
+        Raises
+        ------
+        RuntimeError
+            If the model has not been fitted.
+        """
         if self._weights is None:
             raise RuntimeError("model not fitted")
         x = self._raw_features(profile, config)

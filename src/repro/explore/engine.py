@@ -1,0 +1,324 @@
+"""Batched, parallel design-space sweep engine.
+
+The paper's headline economics -- one micro-architecture independent
+profile, re-evaluated across thousands of machine configurations in
+seconds -- only materialize if the (profiles x configs) cross product is
+evaluated efficiently.  :class:`SweepEngine` provides that evaluation
+layer on top of :class:`~repro.core.model.AnalyticalModel`:
+
+* **Batching + parallelism**: the grid is partitioned into
+  ``(profile, config-chunk)`` batches evaluated on a ``multiprocessing``
+  pool, with a transparent serial fallback when ``workers <= 1`` or the
+  platform cannot spawn processes.
+* **Profile caching**: per-profile intermediates are memoized at two
+  levels -- the StatStack reuse -> stack distance tables persist on disk
+  in a content-addressed :class:`~repro.profiler.serialization.ProfileStore`,
+  and a per-run :class:`~repro.core.interval.ModelCache` memoizes
+  branch-resolution, virtual-stream, dispatch-limit and miss-ratio
+  intermediates across configurations that share the relevant fields.
+* **Streaming**: :meth:`SweepEngine.iter_sweep` yields
+  :class:`~repro.explore.dse.DesignPoint` results incrementally in
+  deterministic grid order, so Pareto / DVFS consumers can run on
+  partial results while the sweep is still in flight.
+
+Results are bitwise identical between the serial and parallel paths and
+with the pre-engine serial loop: the caches memoize pure computations on
+exhaustive dependency keys, and batches are streamed back in submission
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.interval import ModelCache
+from repro.core.machine import MachineConfig
+from repro.core.model import AnalyticalModel, ModelResult
+from repro.profiler.profile import ApplicationProfile
+from repro.profiler.serialization import ProfileStore
+
+__all__ = ["SweepEngine"]
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module level so it pickles under spawn too)
+# ----------------------------------------------------------------------
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(
+    model: AnalyticalModel,
+    profiles: Sequence[ApplicationProfile],
+    configs: Sequence[MachineConfig],
+) -> None:
+    """Pool initializer: install the grid and a fresh per-process cache."""
+    model.cache = ModelCache()
+    _WORKER["model"] = model
+    _WORKER["profiles"] = profiles
+    _WORKER["configs"] = configs
+
+
+def _run_batch(task: Tuple[int, int, int]) -> List[ModelResult]:
+    """Evaluate one (profile, config-chunk) batch inside a worker."""
+    profile_index, start, stop = task
+    model: AnalyticalModel = _WORKER["model"]  # type: ignore[assignment]
+    profile = _WORKER["profiles"][profile_index]  # type: ignore[index]
+    configs = _WORKER["configs"]  # type: ignore[assignment]
+    return [model.predict(profile, c) for c in configs[start:stop]]
+
+
+class SweepEngine:
+    """Evaluates (profiles x configs) grids in batches, optionally parallel.
+
+    Parameters
+    ----------
+    model:
+        The analytical model to evaluate; a default-configured
+        :class:`~repro.core.model.AnalyticalModel` when omitted.  If the
+        model has no :class:`~repro.core.interval.ModelCache` attached,
+        the engine attaches a fresh one for the duration of each sweep
+        and detaches it afterwards (results are unchanged; only
+        faster).  Attach your own cache to the model to keep memoized
+        state across sweeps instead.
+    workers:
+        Number of worker processes.  ``None`` uses ``os.cpu_count()``;
+        values ``<= 1`` select the serial path.  The parallel and serial
+        paths produce bitwise-identical results in the same order.
+    batch_size:
+        Configurations per worker task.  Defaults to roughly a quarter
+        of the per-worker share, so the pool stays busy without
+        oversized pickling.
+    store:
+        Optional :class:`~repro.profiler.serialization.ProfileStore`.
+        When given, every profile is content-hashed into the store and
+        its StatStack stack-distance tables are loaded from (or saved
+        to) disk, making repeated sweeps over the same profiles start
+        warm.
+    progress:
+        Optional ``progress(done, total)`` callback invoked after every
+        design point.
+
+    Examples
+    --------
+    >>> engine = SweepEngine(workers=4)                  # doctest: +SKIP
+    >>> results = engine.sweep(profiles, design_space()) # doctest: +SKIP
+    >>> for point in engine.iter_sweep(profiles, configs):  # streaming
+    ...     update_pareto(point)                         # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        model: Optional[AnalyticalModel] = None,
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        store: Optional[ProfileStore] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.model = model if model is not None else AnalyticalModel()
+        self.workers = workers
+        self.batch_size = batch_size
+        self.store = store
+        self.progress = progress
+        # id -> (profile, store key): profiles already prepared by this
+        # engine (the profile reference pins the id against reuse).
+        self._prepared: Dict[int, Tuple[ApplicationProfile,
+                                        Optional[str]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def effective_workers(self) -> int:
+        """The worker count after resolving the ``None`` default."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
+
+    def prepare(
+        self, profiles: Sequence[ApplicationProfile]
+    ) -> List[Optional[str]]:
+        """Materialize per-profile intermediates before the sweep.
+
+        With a :class:`ProfileStore` attached, each profile is hashed
+        into the store and its StatStack tables come from disk when
+        cached (the "warm profile cache" path); otherwise the models are
+        simply built in memory so workers inherit them pre-built.
+        Profiles already prepared by this engine are skipped, so
+        repeated sweeps do not re-hash or reload anything.
+
+        Returns
+        -------
+        list of str or None
+            The store fingerprint per profile (``None`` without a store).
+        """
+        keys: List[Optional[str]] = []
+        for profile in profiles:
+            prepared = self._prepared.get(id(profile))
+            if prepared is not None and prepared[0] is profile:
+                keys.append(prepared[1])
+                continue
+            if self.store is not None:
+                key = self.store.warm(profile)
+            else:
+                profile.statstack()
+                profile.instruction_statstack()
+                key = None
+            self._prepared[id(profile)] = (profile, key)
+            keys.append(key)
+        return keys
+
+    def _batches(
+        self, n_profiles: int, n_configs: int
+    ) -> List[Tuple[int, int, int]]:
+        """Partition the grid into (profile, config-chunk) batch tasks."""
+        workers = self.effective_workers()
+        chunk = self.batch_size
+        if chunk is None:
+            chunk = max(1, -(-n_configs // max(1, workers * 4)))
+        tasks: List[Tuple[int, int, int]] = []
+        for profile_index in range(n_profiles):
+            for start in range(0, n_configs, chunk):
+                tasks.append(
+                    (profile_index, start, min(start + chunk, n_configs))
+                )
+        return tasks
+
+    # ------------------------------------------------------------------
+
+    def iter_sweep(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator["DesignPoint"]:
+        """Stream design points in deterministic grid order.
+
+        Points are yielded profile-major (all configs of the first
+        profile, then the second, ...), identically for the serial and
+        parallel paths, so downstream consumers can fold partial results
+        while later batches are still being evaluated.
+
+        Yields
+        ------
+        DesignPoint
+            One evaluated (workload, configuration) pair at a time.
+        """
+        profiles = list(profiles)
+        configs = list(configs)
+        self.prepare(profiles)
+        # Per-run cache unless the caller attached their own: the
+        # caller's model is left exactly as it was handed to us.
+        attached = False
+        if self.model.cache is None:
+            self.model.cache = ModelCache()
+            attached = True
+        try:
+            if (self.effective_workers() <= 1
+                    or not profiles or not configs):
+                yield from self._iter_serial(profiles, configs)
+            else:
+                yield from self._iter_parallel(profiles, configs)
+        finally:
+            if attached:
+                self.model.cache = None
+
+    def sweep(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+    ) -> Dict[str, List["DesignPoint"]]:
+        """Evaluate the full grid and group points per workload.
+
+        Returns
+        -------
+        dict of str to list of DesignPoint
+            ``{workload name: [point per config, in config order]}`` --
+            the same shape :func:`~repro.explore.dse.evaluate_design_space`
+            has always returned.
+        """
+        results: Dict[str, List["DesignPoint"]] = {}
+        for point in self.iter_sweep(profiles, configs):
+            results.setdefault(point.workload, []).append(point)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _iter_serial(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator["DesignPoint"]:
+        from repro.explore.dse import DesignPoint
+
+        total = len(profiles) * len(configs)
+        done = 0
+        for profile in profiles:
+            for config in configs:
+                point = DesignPoint(
+                    workload=profile.name,
+                    config=config,
+                    result=self.model.predict(profile, config),
+                )
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total)
+                yield point
+
+    def _iter_parallel(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator["DesignPoint"]:
+        from repro.explore.dse import DesignPoint
+
+        try:
+            import multiprocessing
+        except ImportError:
+            yield from self._iter_serial(profiles, configs)
+            return
+
+        tasks = self._batches(len(profiles), len(configs))
+        workers = min(self.effective_workers(), len(tasks))
+        # Ship the model without its cache (workers build their own);
+        # restore the parent's cache afterwards.
+        cache = self.model.cache
+        self.model.cache = None
+        try:
+            pool = multiprocessing.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(self.model, profiles, configs),
+            )
+        except (ImportError, OSError, ValueError):
+            # Platforms without working process support (missing
+            # semaphores, sandboxed environments) fall back to serial.
+            self.model.cache = cache
+            yield from self._iter_serial(profiles, configs)
+            return
+        finally:
+            if self.model.cache is None:
+                self.model.cache = cache
+
+        total = len(profiles) * len(configs)
+        done = 0
+        with pool:
+            for (profile_index, start, _), results in zip(
+                tasks, pool.imap(_run_batch, tasks)
+            ):
+                name = profiles[profile_index].name
+                for offset, result in enumerate(results):
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total)
+                    yield DesignPoint(
+                        workload=name,
+                        config=configs[start + offset],
+                        result=result,
+                    )

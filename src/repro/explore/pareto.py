@@ -19,9 +19,79 @@ with four metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import Any, List, Sequence, Set, Tuple
 
 Point = Tuple[float, float]  # (delay-like, power-like): lower is better
+
+
+def _dominates(a: Point, b: Point) -> bool:
+    """Whether ``a`` strictly Pareto-dominates ``b`` (both minimized)."""
+    return (
+        a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+    )
+
+
+class StreamingParetoFront:
+    """Incrementally maintained 2-D Pareto frontier (both axes minimized).
+
+    Built for the sweep engine's streaming mode: feed it design points
+    as they arrive and read the frontier at any time -- the state after
+    ``n`` points equals :func:`pareto_front` over those same ``n``
+    points, including the convention that duplicated coordinates are all
+    kept.
+
+    Examples
+    --------
+    >>> front = StreamingParetoFront()
+    >>> for x, y in [(2.0, 1.0), (1.0, 2.0), (3.0, 3.0)]:
+    ...     _ = front.add(x, y)
+    >>> [(x, y) for x, y, _ in front.frontier()]
+    [(1.0, 2.0), (2.0, 1.0)]
+    """
+
+    def __init__(self) -> None:
+        self._members: List[Tuple[float, float, Any]] = []
+
+    def add(self, x: float, y: float, payload: Any = None) -> bool:
+        """Offer a point to the frontier.
+
+        Parameters
+        ----------
+        x / y:
+            The two objectives (lower is better), e.g. seconds and
+            watts.
+        payload:
+            Arbitrary object carried with the point (typically the
+            :class:`~repro.explore.dse.DesignPoint`).
+
+        Returns
+        -------
+        bool
+            ``True`` when the point is currently non-dominated (it
+            joined the frontier), ``False`` when an existing member
+            strictly dominates it.
+        """
+        candidate = (x, y)
+        for mx, my, _ in self._members:
+            if _dominates((mx, my), candidate):
+                return False
+        self._members = [
+            member for member in self._members
+            if not _dominates(candidate, (member[0], member[1]))
+        ]
+        self._members.append((x, y, payload))
+        return True
+
+    def add_point(self, point: Any) -> bool:
+        """Offer a (seconds, power) design point; see :meth:`add`."""
+        return self.add(point.seconds, point.power_watts, point)
+
+    def frontier(self) -> List[Tuple[float, float, Any]]:
+        """The current frontier as ``(x, y, payload)``, sorted by ``x``."""
+        return sorted(self._members, key=lambda member: member[:2])
+
+    def __len__(self) -> int:
+        return len(self._members)
 
 
 def pareto_front(points: Sequence[Point]) -> List[int]:

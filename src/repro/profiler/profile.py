@@ -17,6 +17,7 @@ configuration from it.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -112,6 +113,11 @@ def _global_reuse_pass(
     accesses see cross-window history, as StatStack's burst sampling
     does); each recorded reuse/cold access whose closing access falls in a
     micro-trace is also added to that micro-trace's local histograms.
+
+    When ``sampling.reuse_sample_rate < 1`` only a seeded-random subset
+    of accesses is recorded (``sampling.reuse_seed`` makes the subset
+    reproducible); distances stay exact because the per-line last-access
+    index is updated for every access.
     """
     profile = ReuseProfile(line_size=line_size)
     per_window: Dict[int, Dict[str, object]] = {}
@@ -119,6 +125,8 @@ def _global_reuse_pass(
     access_index = 0
     window_length = sampling.window_length
     micro_length = sampling.micro_trace_length
+    record_all = sampling.reuse_sample_rate >= 1.0
+    rng = random.Random(sampling.reuse_seed)
 
     for position, instr in enumerate(instructions):
         if not instr.is_mem:
@@ -130,6 +138,10 @@ def _global_reuse_pass(
             profile.load_accesses += 1
         line = instr.addr // line_size
         previous = last_access.get(line)
+        if not (record_all or rng.random() < sampling.reuse_sample_rate):
+            last_access[line] = access_index
+            access_index += 1
+            continue
 
         in_micro = position % window_length < micro_length
         window_id = position // window_length

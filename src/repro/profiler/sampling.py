@@ -28,6 +28,13 @@ class SamplingConfig:
 
     micro_trace_length: int = 1000
     window_length: int = 10_000
+    #: Fraction of memory accesses that close a recorded reuse in the
+    #: global reuse pass (StatStack burst sampling, thesis §5.4.1);
+    #: 1.0 records every access.
+    reuse_sample_rate: float = 1.0
+    #: Seed of the RNG deciding which accesses are recorded when
+    #: ``reuse_sample_rate < 1``; same seed -> bitwise-identical profile.
+    reuse_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.micro_trace_length < 1:
@@ -36,6 +43,8 @@ class SamplingConfig:
             raise ValueError(
                 "window_length must be >= micro_trace_length"
             )
+        if not 0.0 < self.reuse_sample_rate <= 1.0:
+            raise ValueError("reuse_sample_rate must be in (0, 1]")
 
     @property
     def sample_rate(self) -> float:

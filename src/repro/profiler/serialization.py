@@ -5,13 +5,21 @@ profiling cost is paid literally once -- later design-space studies load
 the profile from disk.  This module provides the same workflow with JSON
 (the offline-friendly substitute): ``save_profile`` / ``load_profile``
 round-trip every statistic the model consumes.
+
+It also provides the content-addressed :class:`ProfileStore` the sweep
+engine uses: profiles are keyed by a SHA-256 fingerprint of their
+canonical JSON form, and expensive derived state (the StatStack
+reuse -> stack distance tables) is memoized on disk next to each profile
+so repeated sweeps skip the conversion entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from collections import Counter
-from typing import Any, Dict, IO, Union
+from typing import Any, Dict, IO, Optional, Union
 
 from repro.frontend.entropy import BranchEntropyProfile
 from repro.profiler.dependences import ChainProfile, DependenceChains
@@ -226,6 +234,8 @@ def profile_to_dict(profile: ApplicationProfile) -> Dict[str, Any]:
         "sampling": {
             "micro_trace_length": profile.sampling.micro_trace_length,
             "window_length": profile.sampling.window_length,
+            "reuse_sample_rate": profile.sampling.reuse_sample_rate,
+            "reuse_seed": profile.sampling.reuse_seed,
         },
         "mix": _mix_to_dict(profile.mix),
         "chains": _chains_to_dict(profile.chains),
@@ -259,6 +269,10 @@ def profile_from_dict(data: Dict[str, Any]) -> ApplicationProfile:
         sampling=SamplingConfig(
             micro_trace_length=data["sampling"]["micro_trace_length"],
             window_length=data["sampling"]["window_length"],
+            reuse_sample_rate=data["sampling"].get(
+                "reuse_sample_rate", 1.0
+            ),
+            reuse_seed=data["sampling"].get("reuse_seed", 0),
         ),
         mix=_mix_from_dict(data["mix"]),
         chains=_chains_from_dict(data["chains"]),
@@ -291,3 +305,131 @@ def load_profile(file: Union[str, IO[str]]) -> ApplicationProfile:
     else:
         data = json.load(file)
     return profile_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed profile store
+# ----------------------------------------------------------------------
+
+
+def profile_fingerprint(profile: ApplicationProfile) -> str:
+    """Content hash of a profile (SHA-256 over its canonical JSON form).
+
+    Two profiles with identical statistics hash identically regardless of
+    in-memory object identity, which makes the hash a safe cache key: any
+    change to the profiled data (or to the serialization format) changes
+    the key and invalidates stale cache entries automatically.
+
+    Parameters
+    ----------
+    profile:
+        The profile to fingerprint.
+
+    Returns
+    -------
+    str
+        A 64-character lowercase hex digest.
+    """
+    canonical = json.dumps(
+        profile_to_dict(profile), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ProfileStore:
+    """On-disk, content-addressed store of profiles and derived state.
+
+    Layout: ``<root>/<fingerprint>.profile.json`` holds the profile
+    itself and ``<root>/<fingerprint>.tables.json`` the memoized
+    StatStack stack-distance tables (data and instruction streams).
+    Storing by content hash means ``put`` is idempotent and a profile
+    re-collected bit-identically hits the same cache entry.
+
+    Parameters
+    ----------
+    root:
+        Directory for the store; created on first use.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # -- paths ----------------------------------------------------------
+
+    def profile_path(self, key: str) -> str:
+        """Path of the stored profile JSON for ``key``."""
+        return os.path.join(self.root, f"{key}.profile.json")
+
+    def tables_path(self, key: str) -> str:
+        """Path of the memoized StatStack tables for ``key``."""
+        return os.path.join(self.root, f"{key}.tables.json")
+
+    # -- profiles -------------------------------------------------------
+
+    def put(self, profile: ApplicationProfile) -> str:
+        """Store a profile (idempotent) and return its fingerprint key."""
+        key = profile_fingerprint(profile)
+        path = self.profile_path(key)
+        if not os.path.exists(path):
+            os.makedirs(self.root, exist_ok=True)
+            save_profile(profile, path)
+        return key
+
+    def get(self, key: str) -> ApplicationProfile:
+        """Load a stored profile by key (raises ``FileNotFoundError``)."""
+        return load_profile(self.profile_path(key))
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.profile_path(key))
+
+    # -- derived state --------------------------------------------------
+
+    def load_tables(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached StatStack tables for ``key``, or ``None``."""
+        path = self.tables_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def save_tables(self, key: str, tables: Dict[str, Any]) -> None:
+        """Persist StatStack tables for ``key`` (overwrites)."""
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.tables_path(key), "w") as handle:
+            json.dump(tables, handle)
+
+    def warm(self, profile: ApplicationProfile) -> str:
+        """Attach cached StatStack models to ``profile`` (or build+cache).
+
+        On a cache hit the profile's data- and instruction-stream
+        StatStack models are rebuilt from the stored tables, skipping the
+        reuse -> stack distance conversion; on a miss they are computed
+        once and the tables persisted for the next run.  Either way the
+        profile ends up with both models materialized in memory.
+
+        Returns
+        -------
+        str
+            The profile's fingerprint key.
+        """
+        from repro.statstack.model import StatStack
+
+        key = self.put(profile)
+        cached = self.load_tables(key)
+        if cached is not None:
+            profile._statstack = StatStack.from_tables(
+                profile.reuse, cached.get("data", {})
+            )
+            profile._instruction_statstack = StatStack.from_tables(
+                profile.instruction_reuse, cached.get("instruction", {})
+            )
+        else:
+            self.save_tables(key, {
+                "data": profile.statstack().export_tables(),
+                "instruction":
+                    profile.instruction_statstack().export_tables(),
+            })
+        return key

@@ -69,6 +69,7 @@ def collect_reuse_profile(
     line_size: int = 64,
     sample_rate: float = 1.0,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> ReuseProfile:
     """Profile reuse distances over an ``(address, is_write)`` stream.
 
@@ -76,10 +77,31 @@ def collect_reuse_profile(
     recorded reuses, mirroring StatStack's burst sampling; distances remain
     exact because the per-line last-access index is updated for every
     access.
+
+    Parameters
+    ----------
+    accesses:
+        Iterable of ``(address, is_write)`` pairs in stream order.
+    line_size:
+        Cache-line granularity in bytes.
+    sample_rate:
+        Probability that an access closes a recorded reuse; must be in
+        ``(0, 1]``.
+    seed:
+        Seed of the sampling RNG.  The same ``(accesses, sample_rate,
+        seed)`` triple always produces a bitwise-identical profile.
+    rng:
+        Explicit ``random.Random`` instance; overrides ``seed``.  Pass
+        one to share a sampling stream across several collection calls.
+
+    Returns
+    -------
+    ReuseProfile
+        The sampled (or exhaustive) reuse-distance histograms.
     """
     if not 0.0 < sample_rate <= 1.0:
         raise ValueError("sample_rate must be in (0, 1]")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     profile = ReuseProfile(line_size=line_size)
     last_access: Dict[int, int] = {}
     index = 0
