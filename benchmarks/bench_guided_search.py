@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Benchmark: guided search vs exhaustive sweep (acceptance check).
+
+On a >= 10^4-configuration :class:`DesignSpace`, the seeded
+:class:`GeneticAlgorithm` and :class:`SimulatedAnnealing` optimizers
+must find a configuration whose objective (EDP, averaged over the
+workloads) is within 2% of the exhaustive-sweep optimum while
+evaluating at most 5% of the space.  The run also re-executes each
+optimizer with engine ``workers=2`` and asserts the trajectory is
+bitwise identical to the serial one (determinism at any worker count).
+
+Results -- including the guided-vs-exhaustive evaluation-count ratio --
+are appended to ``benchmarks/results/E31_guided_search.txt``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_guided_search.py
+"""
+
+import os
+import sys
+
+from repro.explore import (
+    DesignSpace,
+    Parameter,
+    SearchProblem,
+    SweepEngine,
+    get_objective,
+    make_optimizer,
+)
+from repro.profiler import SamplingConfig, profile_application
+from repro.workloads import generate_trace, make_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+WORKLOADS = ["gcc", "libquantum"]
+INSTRUCTIONS = 10_000
+SEED = 0
+GAP_THRESHOLD = 0.02     # within 2% of the exhaustive optimum
+BUDGET_FRACTION = 0.05   # using <= 5% of the space's evaluations
+BUDGET = 500             # actual budget used (well under 5%)
+
+
+def search_space() -> DesignSpace:
+    """The >= 10^4-point space the acceptance criterion is checked on."""
+    return DesignSpace(
+        parameters=(
+            Parameter.integer("dispatch_width", 2, 6),
+            Parameter.integer("rob_size", 32, 288, 32),
+            Parameter.categorical("l1d_kb", (16, 32, 64)),
+            Parameter.categorical("l2_kb", (128, 256, 512)),
+            Parameter.categorical("llc_mb", (1, 2, 4, 8, 16)),
+            Parameter.real("frequency_ghz", 1.2, 3.6, 0.3),
+        ),
+        name="bench-guided-search",
+    )
+
+
+def trajectory_signature(trajectory):
+    """The deterministic part of a trajectory (no wall-clock)."""
+    return [(tuple(sorted(e.point.items())), e.fitness)
+            for e in trajectory.evaluations]
+
+
+def main() -> int:
+    space = search_space()
+    size = space.size()
+    assert size >= 10_000, f"space too small: {size}"
+    assert BUDGET <= BUDGET_FRACTION * size
+
+    profiles = []
+    for name in WORKLOADS:
+        trace = generate_trace(make_workload(name),
+                               max_instructions=INSTRUCTIONS)
+        profiles.append(
+            profile_application(trace, SamplingConfig(1000, 5000))
+        )
+
+    objective = get_objective("edp")
+    problem = SearchProblem(profiles, space, objective,
+                            engine=SweepEngine(workers=1))
+    optimum_point, optimum = problem.exhaustive_best()
+
+    lines = [
+        "E31: guided search vs exhaustive sweep",
+        f"space: {size} configurations; budget {BUDGET} "
+        f"({100.0 * BUDGET / size:.2f}% of the space); seed {SEED}",
+        f"objective: {objective.name} averaged over "
+        f"{', '.join(WORKLOADS)}",
+        f"exhaustive optimum: {optimum:.6e}",
+        f"{'optimizer':<10s} {'evals':>6s} {'eval ratio':>10s} "
+        f"{'best':>13s} {'gap':>8s} {'determinism':>12s}",
+    ]
+
+    failures = []
+    for name in ("random", "hill", "sa", "ga"):
+        serial = SearchProblem(profiles, space, objective,
+                               engine=SweepEngine(workers=1))
+        trajectory = make_optimizer(name, seed=SEED).search(serial,
+                                                            BUDGET)
+        parallel = SearchProblem(profiles, space, objective,
+                                 engine=SweepEngine(workers=2))
+        replay = make_optimizer(name, seed=SEED).search(parallel, BUDGET)
+        deterministic = (trajectory_signature(trajectory)
+                         == trajectory_signature(replay))
+        gap = trajectory.best_fitness / optimum - 1.0
+        ratio = len(trajectory) / size
+        lines.append(
+            f"{name:<10s} {len(trajectory):>6d} {ratio:>9.2%} "
+            f"{trajectory.best_fitness:>13.6e} {gap:>7.2%} "
+            f"{'ok' if deterministic else 'MISMATCH':>12s}"
+        )
+        if not deterministic:
+            failures.append(f"{name}: workers=2 trajectory diverged")
+        if name in ("sa", "ga"):
+            if gap > GAP_THRESHOLD:
+                failures.append(
+                    f"{name}: gap {gap:.2%} above the "
+                    f"{GAP_THRESHOLD:.0%} acceptance threshold"
+                )
+            if ratio > BUDGET_FRACTION:
+                failures.append(
+                    f"{name}: used {ratio:.2%} of the space "
+                    f"(> {BUDGET_FRACTION:.0%})"
+                )
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(text)
+    with open(os.path.join(RESULTS_DIR, "E31_guided_search.txt"),
+              "w") as handle:
+        handle.write(text + "\n")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nPASS: SA and GA within {GAP_THRESHOLD:.0%} of the "
+          f"optimum using <= {BUDGET_FRACTION:.0%} of the space, "
+          f"deterministic at any worker count")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

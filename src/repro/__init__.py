@@ -42,10 +42,16 @@ from repro.core import (
 from repro.core.model import ModelResult
 from repro.simulator import SimulationResult, simulate
 from repro.explore import (
+    DesignSpace,
     EmpiricalModel,
+    Parameter,
+    SearchProblem,
+    SearchTrajectory,
     StreamingParetoFront,
     SweepEngine,
     evaluate_design_space,
+    get_objective,
+    make_optimizer,
     pareto_front,
     pareto_metrics,
     speedups,
@@ -73,10 +79,16 @@ __all__ = [
     "nehalem",
     "SimulationResult",
     "simulate",
+    "DesignSpace",
     "EmpiricalModel",
+    "Parameter",
+    "SearchProblem",
+    "SearchTrajectory",
     "StreamingParetoFront",
     "SweepEngine",
     "evaluate_design_space",
+    "get_objective",
+    "make_optimizer",
     "pareto_front",
     "pareto_metrics",
     "speedups",

@@ -1,10 +1,12 @@
-"""Command-line interface: profile, predict, simulate, sweep.
+"""Command-line interface: profile, predict, simulate, sweep, search.
 
 Mirrors the released AIP/PMT workflow: ``profile`` writes a reusable
 profile file; ``predict`` evaluates the analytical model against it for a
 named or custom configuration; ``simulate`` runs the cycle-level
 reference; ``sweep`` explores a design space and reports the Pareto
-frontier.
+frontier; ``search`` runs a guided (random / hill / simulated-annealing
+/ genetic) optimizer over a declarative design space under an
+evaluation budget.
 
 Examples::
 
@@ -15,22 +17,35 @@ Examples::
     python -m repro.cli simulate gcc --instructions 50000
     python -m repro.cli sweep gcc.profile
     python -m repro.cli sweep gcc.profile mcf.profile \\
-        --workers 4 --cache .profile-cache
+        --workers 4 --cache .profile-cache --objective edp
+    python -m repro.cli search gcc.profile --optimizer ga \\
+        --budget 200 --objective edp --seed 0
+    python -m repro.cli search gcc.profile --space space.json \\
+        --optimizer sa --budget 500 --trajectory out.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.caches.cache import CacheConfig
 from repro.core import AnalyticalModel, nehalem
-from repro.core.machine import MachineConfig, design_space
+from repro.core.machine import MachineConfig
 from repro.explore.dse import best_average_config
 from repro.explore.engine import SweepEngine
 from repro.explore.pareto import StreamingParetoFront
+from repro.explore.search import (
+    OBJECTIVES,
+    OPTIMIZERS,
+    SearchProblem,
+    get_objective,
+    make_optimizer,
+)
+from repro.explore.space import DesignSpace
 from repro.profiler import SamplingConfig, profile_application
 from repro.profiler.serialization import (
     ProfileStore,
@@ -137,9 +152,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_space(path: Optional[str]) -> DesignSpace:
+    """The declarative space from a JSON file, or the Table 6.3 grid."""
+    if path:
+        return DesignSpace.load(path)
+    return DesignSpace.default()
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     profiles = [load_profile(path) for path in args.profiles]
-    configs = design_space()
+    space = _load_space(args.space)
+    configs = space.configs()
     if args.limit:
         configs = configs[:args.limit]
     store = ProfileStore(args.cache) if args.cache else None
@@ -162,9 +185,75 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"  {point.config.name:<32s} "
                   f"{point.seconds * 1e6:9.1f} us "
                   f"{point.power_watts:7.2f} W  CPI {point.cpi:5.2f}")
-    if len(profiles) > 1:
-        print("best average config: "
-              f"{best_average_config(results)}")
+    if args.objective:
+        objective = get_objective(args.objective)
+        best = best_average_config(results, metric=objective.metric)
+        print(f"best average config ({objective.name}): {best}")
+    elif len(profiles) > 1:
+        # Historical default: rank by average CPI.
+        print(f"best average config: {best_average_config(results)}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    # Argument-only validation first, before any profile I/O.
+    kwargs = {}
+    if args.population is not None:
+        if args.optimizer != "ga":
+            print("error: --population only applies to --optimizer ga",
+                  file=sys.stderr)
+            return 2
+        kwargs["population"] = args.population
+    if args.batch_size is not None:
+        if args.optimizer == "ga":
+            print("error: use --population for the GA batch size",
+                  file=sys.stderr)
+            return 2
+        kwargs["batch_size"] = args.batch_size
+    optimizer = make_optimizer(args.optimizer, seed=args.seed, **kwargs)
+
+    profiles = [load_profile(path) for path in args.profiles]
+    space = _load_space(args.space)
+    objective = get_objective(args.objective,
+                              power_cap_watts=args.power_cap)
+    store = ProfileStore(args.cache) if args.cache else None
+    engine = SweepEngine(workers=args.workers, store=store)
+    problem = SearchProblem(profiles, space, objective, engine=engine)
+
+    trajectory = optimizer.search(problem, args.budget)
+    size = space.size()
+    evaluated = len(trajectory)
+    workloads = ", ".join(p.name for p in profiles)
+    print(f"space:       {space.name} ({size} valid configurations)")
+    print(f"workloads:   {workloads}")
+    print(f"optimizer:   {optimizer.name} (seed {args.seed})")
+    print(f"objective:   {objective.name} (minimized, averaged over "
+          f"{len(profiles)} workload(s))")
+    print(f"evaluated:   {evaluated} configs "
+          f"({100.0 * evaluated / size:.1f}% of the space, budget "
+          f"{args.budget}) in {trajectory.wall_seconds:.2f} s")
+    best = trajectory.best
+    point_text = " ".join(f"{k}={v}" for k, v in best.point.items())
+    print(f"best {objective.name}: {best.fitness:.6e} "
+          f"(found at evaluation {best.index + 1})")
+    print(f"best point:  {point_text}")
+    print(f"best config: {space.config(best.point).name}")
+    improvements = []
+    best_so_far = None
+    for evaluation in trajectory.evaluations:
+        if best_so_far is None or evaluation.fitness < best_so_far:
+            best_so_far = evaluation.fitness
+            improvements.append(evaluation)
+    shown = improvements[-8:]
+    print(f"best-so-far curve ({len(improvements)} improvements, "
+          f"last {len(shown)} shown):")
+    for evaluation in shown:
+        print(f"  eval {evaluation.index + 1:>5d}: "
+              f"{evaluation.fitness:.6e}")
+    if args.trajectory:
+        with open(args.trajectory, "w") as handle:
+            json.dump(trajectory.as_dict(), handle, indent=2)
+        print(f"trajectory -> {args.trajectory}")
     return 0
 
 
@@ -218,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="design-space sweep + Pareto front")
     sub.add_argument("profiles", nargs="+", metavar="profile",
                      help="one or more profile files from 'profile'")
+    sub.add_argument("--space", default=None, metavar="FILE.json",
+                     help="declarative DesignSpace JSON (default: the "
+                          "Table 6.3 grid)")
+    sub.add_argument("--objective", choices=sorted(OBJECTIVES),
+                     default=None,
+                     help="rank the best average config by this "
+                          "objective (default: average CPI)")
     sub.add_argument("--limit", type=int, default=0,
                      help="evaluate only the first N configurations")
     sub.add_argument("--workers", type=int, default=1,
@@ -226,6 +322,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="profile-store directory for cached "
                           "StatStack tables")
     sub.set_defaults(func=cmd_sweep)
+
+    sub = subparsers.add_parser(
+        "search",
+        help="guided design-space search under an evaluation budget")
+    sub.add_argument("profiles", nargs="+", metavar="profile",
+                     help="one or more profile files from 'profile'")
+    sub.add_argument("--space", default=None, metavar="FILE.json",
+                     help="declarative DesignSpace JSON (default: the "
+                          "Table 6.3 grid)")
+    sub.add_argument("--optimizer", choices=sorted(OPTIMIZERS),
+                     default="ga",
+                     help="search agent (default: ga)")
+    sub.add_argument("--objective", choices=sorted(OBJECTIVES),
+                     default="edp",
+                     help="scalar to minimize (default: edp)")
+    sub.add_argument("--power-cap", type=float, default=None,
+                     metavar="WATTS",
+                     help="discard configs whose predicted power "
+                          "exceeds this cap")
+    sub.add_argument("--budget", type=int, default=200,
+                     help="max distinct configurations to evaluate")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="optimizer RNG seed (same seed = same "
+                          "trajectory at any worker count)")
+    sub.add_argument("--population", type=int, default=None,
+                     help="GA population size (ga only)")
+    sub.add_argument("--batch-size", type=int, default=None,
+                     help="proposals per engine batch (random/hill/sa)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="engine worker processes (1 = serial)")
+    sub.add_argument("--cache", default=None, metavar="DIR",
+                     help="profile-store directory for cached "
+                          "StatStack tables")
+    sub.add_argument("--trajectory", default=None, metavar="OUT.json",
+                     help="write the full search trajectory as JSON")
+    sub.set_defaults(func=cmd_search)
 
     return parser
 

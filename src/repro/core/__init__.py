@@ -18,6 +18,7 @@ from repro.core.machine import (
     DVFSPoint,
     MachineConfig,
     PortSpec,
+    config_from_params,
     design_space,
     dvfs_points,
     low_power_core,
@@ -48,6 +49,7 @@ __all__ = [
     "DVFSPoint",
     "MachineConfig",
     "PortSpec",
+    "config_from_params",
     "design_space",
     "dvfs_points",
     "low_power_core",

@@ -179,37 +179,92 @@ DESIGN_SPACE_AXES: Dict[str, Sequence] = {
 }
 
 
+#: Parameters understood by :func:`config_from_params`, with defaults.
+CONFIG_PARAM_DEFAULTS: Dict[str, object] = {
+    "dispatch_width": 4,
+    "rob_size": 128,
+    "l1d_kb": 32,
+    "l2_kb": 256,
+    "llc_mb": 8,
+    "frequency_ghz": 2.66,
+    "mshr_entries": None,  # None: derived from dispatch width
+    "prefetch": False,
+}
+
+
+def config_from_params(params: Dict[str, object]) -> MachineConfig:
+    """Build a named design-space configuration from a parameter dict.
+
+    This is the single mapping from abstract design-space coordinates
+    (``dispatch_width``, ``rob_size``, ``l1d_kb``, ``l2_kb``,
+    ``llc_mb``, ``frequency_ghz``, ``mshr_entries``, ``prefetch``) to a
+    concrete :class:`MachineConfig`, shared by the historical
+    :func:`design_space` grid and the declarative
+    :class:`~repro.explore.space.DesignSpace`.  Omitted parameters take
+    the Nehalem-like reference values; for parameters at their default,
+    nothing extra is appended to the generated name, so dicts drawn
+    from the classic five axes reproduce the historical config names
+    (and configs) bitwise.
+
+    Parameters
+    ----------
+    params:
+        Mapping from parameter name to value.  Unknown names raise
+        ``ValueError`` (catching typos in externally supplied spaces).
+
+    Returns
+    -------
+    MachineConfig
+        The fully populated configuration.
+    """
+    unknown = set(params) - set(CONFIG_PARAM_DEFAULTS)
+    if unknown:
+        raise ValueError(
+            f"unknown design-space parameter(s): {sorted(unknown)}; "
+            f"known: {sorted(CONFIG_PARAM_DEFAULTS)}"
+        )
+    width = int(params.get("dispatch_width", 4))
+    rob = int(params.get("rob_size", 128))
+    l1_kb = int(params.get("l1d_kb", 32))
+    l2_kb = int(params.get("l2_kb", 256))
+    llc_mb = params.get("llc_mb", 8)
+    freq = params.get("frequency_ghz", 2.66)
+    mshr = params.get("mshr_entries")
+    prefetch = bool(params.get("prefetch", False))
+    name = f"w{width}-rob{rob}-l1{l1_kb}k-llc{llc_mb}m-f{freq:.2f}"
+    if l2_kb != 256:
+        name += f"-l2{l2_kb}k"
+    if mshr is not None:
+        name += f"-mshr{int(mshr)}"
+    if prefetch:
+        name += "-pf"
+    return MachineConfig(
+        name=name,
+        dispatch_width=width,
+        rob_size=rob,
+        ports=nehalem_ports() if width >= 4 else narrow_ports(),
+        l1d=CacheConfig(l1_kb * 1024, 8, 64, latency=4),
+        l1i=CacheConfig(l1_kb * 1024, 8, 64, latency=1),
+        l2=CacheConfig(l2_kb * 1024, 8, 64, latency=12),
+        llc=CacheConfig(int(llc_mb * 1024) * 1024, 16, 64, latency=30),
+        mshr_entries=(max(4, 2 + width * 2) if mshr is None
+                      else int(mshr)),
+        prefetch=prefetch,
+        frequency_ghz=freq,
+        vdd=dvfs_vdd(freq),
+    )
+
+
 def design_space(
     axes: Optional[Dict[str, Sequence]] = None,
 ) -> List[MachineConfig]:
     """Enumerate the design space (243 configs with the default axes)."""
     axes = axes or DESIGN_SPACE_AXES
     names = list(axes)
-    configs: List[MachineConfig] = []
-    for values in itertools.product(*(axes[n] for n in names)):
-        params = dict(zip(names, values))
-        width = params.get("dispatch_width", 4)
-        rob = params.get("rob_size", 128)
-        l1_kb = params.get("l1d_kb", 32)
-        llc_mb = params.get("llc_mb", 8)
-        freq = params.get("frequency_ghz", 2.66)
-        config = MachineConfig(
-            name=(
-                f"w{width}-rob{rob}-l1{l1_kb}k-llc{llc_mb}m-f{freq:.2f}"
-            ),
-            dispatch_width=width,
-            rob_size=rob,
-            ports=nehalem_ports() if width >= 4 else narrow_ports(),
-            l1d=CacheConfig(l1_kb * 1024, 8, 64, latency=4),
-            l1i=CacheConfig(l1_kb * 1024, 8, 64, latency=1),
-            l2=CacheConfig(256 * 1024, 8, 64, latency=12),
-            llc=CacheConfig(llc_mb * 1024 * 1024, 16, 64, latency=30),
-            mshr_entries=max(4, 2 + width * 2),
-            frequency_ghz=freq,
-            vdd=dvfs_vdd(freq),
-        )
-        configs.append(config)
-    return configs
+    return [
+        config_from_params(dict(zip(names, values)))
+        for values in itertools.product(*(axes[n] for n in names))
+    ]
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,14 @@ against simulation with the thesis' four metrics (sensitivity /
 specificity / accuracy / HVR), explores DVFS operating points, and
 provides the empirical-regression baseline of §7.5 and the
 evaluation-cost model behind the 315x / 18x speedup claims.
+
+On top of the sweep layer sits guided search: declarative
+:class:`~repro.explore.space.DesignSpace` descriptions (typed
+parameters, constraints, JSON round-trip) and the seeded, pluggable
+optimizers of :mod:`repro.explore.search` (random / hill-climbing /
+simulated annealing / genetic), which drive batched evaluations through
+the engine under an :class:`~repro.explore.search.EvaluationBudget` and
+record full :class:`~repro.explore.search.SearchTrajectory` objects.
 """
 
 from repro.explore.dse import (
@@ -38,10 +46,45 @@ from repro.explore.cost import (
     simulation_cost,
     speedups,
 )
+from repro.explore.space import DesignSpace, Parameter
+from repro.explore.search import (
+    OBJECTIVES,
+    OPTIMIZERS,
+    Evaluation,
+    EvaluationBudget,
+    GeneticAlgorithm,
+    HillClimber,
+    Objective,
+    Optimizer,
+    RandomSearch,
+    SearchProblem,
+    SearchTrajectory,
+    SimulatedAnnealing,
+    get_objective,
+    make_optimizer,
+    power_capped,
+)
 
 __all__ = [
     "DesignPoint",
     "SweepEngine",
+    "DesignSpace",
+    "Parameter",
+    "OBJECTIVES",
+    "OPTIMIZERS",
+    "Evaluation",
+    "EvaluationBudget",
+    "GeneticAlgorithm",
+    "HillClimber",
+    "Objective",
+    "Optimizer",
+    "RandomSearch",
+    "SearchProblem",
+    "SearchTrajectory",
+    "SimulatedAnnealing",
+    "get_objective",
+    "make_optimizer",
+    "power_capped",
     "best_average_config",
     "best_config_per_workload",
     "evaluate_design_space",

@@ -54,6 +54,16 @@ class DesignPoint:
         """Predicted total energy in joules."""
         return self.result.energy_joules
 
+    @property
+    def edp(self) -> float:
+        """Predicted energy-delay product."""
+        return self.result.edp
+
+    @property
+    def ed2p(self) -> float:
+        """Predicted energy-delay-squared product."""
+        return self.result.ed2p
+
 
 def evaluate_design_space(
     profiles: Sequence[ApplicationProfile],

@@ -1,0 +1,472 @@
+"""Declarative design spaces: parameters, constraints, serialization.
+
+The paper's economics (profile once, evaluate thousands of configurations
+analytically) make the *space* of configurations a first-class object.
+:class:`DesignSpace` describes that space declaratively as a list of
+typed :class:`Parameter` axes (integer/float ranges with steps, or
+categorical choices) plus optional constraint expressions, and knows how
+to
+
+* **enumerate** every valid configuration in deterministic grid order
+  (the cross product, constraint-filtered),
+* **sample** and **mutate** points with a caller-supplied seeded RNG
+  (the primitives the :mod:`repro.explore.search` optimizers build on),
+* **serialize** to/from JSON so spaces travel next to profiles, and
+* **construct** concrete :class:`~repro.core.machine.MachineConfig`
+  objects through :func:`~repro.core.machine.config_from_params`.
+
+:meth:`DesignSpace.default` reproduces the thesis Table 6.3 grid --
+the same 243 configurations, bitwise, as the historical
+:func:`~repro.core.machine.design_space` -- so the CLI can treat the
+hardcoded grid as just another space.
+
+Points are plain ``{parameter name: value}`` dicts throughout, which
+keeps them JSON-serializable and trivially hashable (via
+:meth:`DesignSpace.key`) for fitness caching.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.machine import (
+    DESIGN_SPACE_AXES,
+    MachineConfig,
+    config_from_params,
+)
+
+__all__ = ["Parameter", "DesignSpace"]
+
+#: Parameter kinds understood by :class:`Parameter`.
+_KINDS = ("int", "float", "categorical")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One axis of a design space.
+
+    A parameter is always a *finite grid* of values: integer and float
+    parameters are defined by an inclusive ``[low, high]`` range walked
+    in ``step`` increments, categorical parameters by an explicit
+    ``choices`` tuple.  Finite grids keep spaces enumerable (so an
+    exhaustive sweep is always available as ground truth) while ranges
+    keep them compact to declare and serialize.
+
+    Use the :meth:`integer`, :meth:`real` and :meth:`categorical`
+    constructors rather than the raw dataclass fields.
+
+    Attributes
+    ----------
+    name:
+        Parameter name, a key understood by
+        :func:`~repro.core.machine.config_from_params`
+        (e.g. ``"rob_size"``).
+    kind:
+        ``"int"``, ``"float"`` or ``"categorical"``.
+    low / high / step:
+        Inclusive range and stride for ``int``/``float`` parameters.
+    choices:
+        Explicit values for ``categorical`` parameters.
+    """
+
+    name: str
+    kind: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    step: Optional[float] = None
+    choices: Optional[Tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown parameter kind: {self.kind!r}")
+        if self.kind == "categorical":
+            if not self.choices:
+                raise ValueError(f"{self.name}: empty choices")
+            if len(set(self.choices)) != len(self.choices):
+                raise ValueError(
+                    f"{self.name}: duplicate choices {self.choices} "
+                    f"(they would bias sampling and break mutation)"
+                )
+        else:
+            if self.low is None or self.high is None:
+                raise ValueError(f"{self.name}: range requires low/high")
+            if self.high < self.low:
+                raise ValueError(f"{self.name}: high < low")
+            if not self.step or self.step <= 0:
+                raise ValueError(f"{self.name}: step must be positive")
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def integer(cls, name: str, low: int, high: int,
+                step: int = 1) -> "Parameter":
+        """An integer range parameter: ``low, low+step, ..., <= high``."""
+        return cls(name=name, kind="int", low=int(low), high=int(high),
+                   step=int(step))
+
+    @classmethod
+    def real(cls, name: str, low: float, high: float,
+             step: float) -> "Parameter":
+        """A float range parameter: ``low, low+step, ..., <= high``."""
+        return cls(name=name, kind="float", low=float(low),
+                   high=float(high), step=float(step))
+
+    @classmethod
+    def categorical(cls, name: str, choices: Sequence) -> "Parameter":
+        """An explicit-choices parameter (values kept verbatim)."""
+        return cls(name=name, kind="categorical", choices=tuple(choices))
+
+    # -- the value grid ------------------------------------------------
+
+    def values(self) -> Tuple:
+        """Every value of this parameter, in ascending grid order.
+
+        Float grids are generated as ``low + i * step`` (not by
+        accumulation) and rounded to 12 decimals, so the grid is
+        identical however it is traversed or re-serialized.
+        """
+        if self.kind == "categorical":
+            return self.choices  # type: ignore[return-value]
+        if self.kind == "int":
+            return tuple(range(int(self.low), int(self.high) + 1,
+                               int(self.step)))
+        count = int((self.high - self.low) / self.step + 1e-9) + 1
+        return tuple(round(self.low + i * self.step, 12)
+                     for i in range(count))
+
+    def sample(self, rng) -> object:
+        """One uniformly random grid value drawn from ``rng``."""
+        values = self.values()
+        return values[rng.randrange(len(values))]
+
+    def mutate(self, value, rng) -> object:
+        """A *different* value near ``value``, drawn from ``rng``.
+
+        Range parameters move one or two grid steps in either
+        direction (clipped to the grid ends); categorical parameters
+        jump uniformly to any other choice.  A single-valued parameter
+        returns its lone value unchanged.
+        """
+        values = self.values()
+        if len(values) == 1:
+            return values[0]
+        if self.kind == "categorical":
+            others = [v for v in values if v != value]
+            return others[rng.randrange(len(others))]
+        try:
+            index = values.index(value)
+        except ValueError:
+            return self.sample(rng)  # off-grid input: re-draw
+        offsets = [o for o in (-2, -1, 1, 2)
+                   if 0 <= index + o < len(values)]
+        new_index = index + offsets[rng.randrange(len(offsets))]
+        return values[new_index]
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable description of this parameter."""
+        data: Dict[str, object] = {"name": self.name, "kind": self.kind}
+        if self.kind == "categorical":
+            data["choices"] = list(self.choices)  # type: ignore[arg-type]
+        else:
+            data.update(low=self.low, high=self.high, step=self.step)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Parameter":
+        """Rebuild a parameter from :meth:`to_dict` output.
+
+        Malformed descriptions (missing fields included) raise
+        ``ValueError``, like every other bad-space path.
+        """
+        try:
+            kind = data["kind"]
+            if kind == "categorical":
+                return cls.categorical(data["name"], data["choices"])
+            if kind == "int":
+                return cls.integer(data["name"], data["low"],
+                                   data["high"], data.get("step", 1))
+            return cls.real(data["name"], data["low"], data["high"],
+                            data["step"])
+        except KeyError as missing:
+            raise ValueError(
+                f"parameter description {data!r} is missing "
+                f"required field {missing}"
+            ) from None
+
+
+#: JSON schema version written by :meth:`DesignSpace.to_json`.
+_SPACE_VERSION = 1
+
+#: AST node types a constraint expression may contain.  Names are
+#: additionally restricted to the space's parameter names, so a
+#: constraint can express arithmetic/boolean relations between
+#: parameters and literals -- and nothing else (no calls, attributes,
+#: subscripts or comprehensions; space files may come from untrusted
+#: sources and must not be a code-execution vector).
+_CONSTRAINT_NODES = (
+    ast.Expression, ast.BoolOp, ast.And, ast.Or, ast.UnaryOp,
+    ast.Not, ast.UAdd, ast.USub, ast.BinOp, ast.Add, ast.Sub,
+    ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow, ast.Compare,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.In,
+    ast.NotIn, ast.Constant, ast.Name, ast.Load, ast.Tuple, ast.List,
+)
+
+
+def _compile_constraint(expression: str, names: Sequence[str]):
+    """Validate and compile one constraint expression.
+
+    Only arithmetic/boolean/comparison syntax over the given parameter
+    names and literals is accepted; anything else (function calls,
+    attribute access, unknown names, statements) raises ``ValueError``
+    at space-construction time rather than surfacing mid-enumeration.
+    """
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as error:
+        raise ValueError(
+            f"invalid constraint {expression!r}: {error}") from None
+    for node in ast.walk(tree):
+        if not isinstance(node, _CONSTRAINT_NODES):
+            raise ValueError(
+                f"constraint {expression!r} uses disallowed syntax "
+                f"({type(node).__name__}); only arithmetic, comparison "
+                f"and boolean expressions over parameter names are "
+                f"allowed"
+            )
+        if isinstance(node, ast.Name) and node.id not in names:
+            raise ValueError(
+                f"constraint {expression!r} references unknown "
+                f"parameter {node.id!r}; parameters: {sorted(names)}"
+            )
+    return compile(tree, "<constraint>", "eval")
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A declarative, finite configuration space.
+
+    Attributes
+    ----------
+    parameters:
+        The axes, in declaration order (which fixes enumeration order:
+        the cross product iterates the *last* parameter fastest, like
+        ``itertools.product``).
+    constraints:
+        Boolean expressions over parameter names (e.g.
+        ``"rob_size >= 16 * dispatch_width"``), restricted to
+        arithmetic/comparison/boolean syntax -- validated and compiled
+        once at construction, so unknown names, typos and anything
+        resembling code injection fail fast with ``ValueError``.
+        Points violating any constraint are excluded from enumeration
+        and never returned by sampling/mutation.
+    name:
+        Optional label carried through serialization.
+    """
+
+    parameters: Tuple[Parameter, ...]
+    constraints: Tuple[str, ...] = ()
+    name: str = "design-space"
+
+    def __post_init__(self) -> None:
+        from repro.core.machine import CONFIG_PARAM_DEFAULTS
+
+        names = [p.name for p in self.parameters]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate parameter names: {names}")
+        if not self.parameters:
+            raise ValueError("a design space needs at least one parameter")
+        # Fail at declaration/load time, not deep inside the first
+        # evaluation batch: every axis must be a knob the config
+        # constructor understands.
+        unknown = set(names) - set(CONFIG_PARAM_DEFAULTS)
+        if unknown:
+            raise ValueError(
+                f"unknown design-space parameter(s): {sorted(unknown)}; "
+                f"known: {sorted(CONFIG_PARAM_DEFAULTS)}"
+            )
+        object.__setattr__(self, "parameters", tuple(self.parameters))
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        object.__setattr__(self, "_compiled", tuple(
+            _compile_constraint(expression, names)
+            for expression in self.constraints
+        ))
+
+    # -- basic geometry ------------------------------------------------
+
+    def parameter(self, name: str) -> Parameter:
+        """The parameter with the given name (``KeyError`` if absent)."""
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        raise KeyError(name)
+
+    def grid_size(self) -> int:
+        """Number of grid points ignoring constraints (cheap)."""
+        size = 1
+        for parameter in self.parameters:
+            size *= len(parameter.values())
+        return size
+
+    def size(self) -> int:
+        """Number of *valid* points (enumerates when constrained)."""
+        if not self.constraints:
+            return self.grid_size()
+        return sum(1 for _ in self.iter_points())
+
+    def satisfies(self, point: Dict[str, object]) -> bool:
+        """Whether a point passes every constraint expression."""
+        for code in self._compiled:
+            if not eval(code, {"__builtins__": {}}, dict(point)):
+                return False
+        return True
+
+    def key(self, point: Dict[str, object]) -> Tuple:
+        """A hashable identity for a point (for fitness caches)."""
+        return tuple(point[p.name] for p in self.parameters)
+
+    # -- enumeration ---------------------------------------------------
+
+    def iter_points(self) -> Iterator[Dict[str, object]]:
+        """Yield every valid point in deterministic grid order."""
+        names = [p.name for p in self.parameters]
+        for values in itertools.product(
+                *(p.values() for p in self.parameters)):
+            point = dict(zip(names, values))
+            if self.satisfies(point):
+                yield point
+
+    def points(self) -> List[Dict[str, object]]:
+        """Every valid point, as a list (see :meth:`iter_points`)."""
+        return list(self.iter_points())
+
+    def config(self, point: Dict[str, object]) -> MachineConfig:
+        """The concrete machine for one point.
+
+        Delegates to :func:`~repro.core.machine.config_from_params`, so
+        parameter names must be drawn from its vocabulary.
+        """
+        return config_from_params(point)
+
+    def configs(self) -> List[MachineConfig]:
+        """Every valid point as a :class:`MachineConfig`, grid order."""
+        return [self.config(point) for point in self.iter_points()]
+
+    # -- stochastic primitives (seeded RNG supplied by the caller) -----
+
+    def sample(self, rng, max_tries: int = 10_000) -> Dict[str, object]:
+        """One uniformly random valid point.
+
+        Rejection-samples the constraint region; raises ``ValueError``
+        after ``max_tries`` rejections (an effectively empty region).
+        """
+        for _ in range(max_tries):
+            point = {p.name: p.sample(rng) for p in self.parameters}
+            if self.satisfies(point):
+                return point
+        raise ValueError(
+            f"no valid sample after {max_tries} tries; constraints "
+            f"{self.constraints} may be unsatisfiable"
+        )
+
+    def mutate(self, point: Dict[str, object], rng,
+               max_tries: int = 100) -> Dict[str, object]:
+        """A valid neighbor of ``point`` differing in >= 1 parameter.
+
+        One parameter (chosen by ``rng``) takes a nearby value via
+        :meth:`Parameter.mutate`; if a constraint rejects the result the
+        draw is retried, falling back to a fresh :meth:`sample` after
+        ``max_tries`` rejections.
+        """
+        for _ in range(max_tries):
+            mutated = dict(point)
+            parameter = self.parameters[
+                rng.randrange(len(self.parameters))]
+            mutated[parameter.name] = parameter.mutate(
+                point[parameter.name], rng)
+            if self.satisfies(mutated):
+                return mutated
+        return self.sample(rng)
+
+    def crossover(self, a: Dict[str, object], b: Dict[str, object],
+                  rng, max_tries: int = 100) -> Dict[str, object]:
+        """Parameter-wise uniform crossover of two valid points.
+
+        Each parameter value comes from parent ``a`` or ``b`` with
+        equal probability; constraint-violating children are redrawn,
+        falling back to parent ``a`` after ``max_tries`` rejections
+        (both parents are valid by construction).
+        """
+        for _ in range(max_tries):
+            child = {
+                p.name: (a if rng.random() < 0.5 else b)[p.name]
+                for p in self.parameters
+            }
+            if self.satisfies(child):
+                return child
+        return dict(a)
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """This space as a JSON document (see :meth:`from_json`)."""
+        return json.dumps(
+            {
+                "version": _SPACE_VERSION,
+                "name": self.name,
+                "parameters": [p.to_dict() for p in self.parameters],
+                "constraints": list(self.constraints),
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DesignSpace":
+        """Rebuild a space from :meth:`to_json` output."""
+        data = json.loads(text)
+        version = data.get("version", _SPACE_VERSION)
+        if version != _SPACE_VERSION:
+            raise ValueError(f"unsupported space version: {version}")
+        return cls(
+            parameters=tuple(
+                Parameter.from_dict(p) for p in data["parameters"]
+            ),
+            constraints=tuple(data.get("constraints", ())),
+            name=data.get("name", "design-space"),
+        )
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_json` to a file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "DesignSpace":
+        """Read a space written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # -- the historical grid -------------------------------------------
+
+    @classmethod
+    def default(cls) -> "DesignSpace":
+        """The thesis Table 6.3 grid as a declarative space.
+
+        Enumerates to the *bitwise identical* 243 configurations, in
+        the same order, as the historical
+        :func:`~repro.core.machine.design_space` (each axis is kept
+        categorical with the exact historical values, so even float
+        frequencies match to the last bit).
+        """
+        return cls(
+            parameters=tuple(
+                Parameter.categorical(name, values)
+                for name, values in DESIGN_SPACE_AXES.items()
+            ),
+            name="table-6.3",
+        )

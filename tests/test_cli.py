@@ -48,6 +48,18 @@ class TestSimulateCommand:
                      "--prefetch"]) == 0
 
 
+def _write_tiny_space(tmp_path):
+    from repro.explore.space import DesignSpace, Parameter
+
+    path = str(tmp_path / "space.json")
+    DesignSpace(
+        parameters=(Parameter.categorical("dispatch_width", (2, 4)),
+                    Parameter.integer("rob_size", 64, 128, 64)),
+        name="tiny",
+    ).save(path)
+    return path
+
+
 class TestSweepCommand:
     def test_sweep_limited(self, tmp_path, capsys):
         path = str(tmp_path / "gcc.profile")
@@ -55,6 +67,93 @@ class TestSweepCommand:
         assert main(["sweep", path, "--limit", "9"]) == 0
         out = capsys.readouterr().out
         assert "Pareto-optimal" in out
+
+    def test_sweep_with_space_file(self, tmp_path, capsys):
+        profile = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", profile,
+              "--instructions", "5000"])
+        space = _write_tiny_space(tmp_path)
+        assert main(["sweep", profile, "--space", space]) == 0
+        out = capsys.readouterr().out
+        assert "4 designs evaluated" in out
+
+    def test_sweep_objective_ranking(self, tmp_path, capsys):
+        profile = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", profile,
+              "--instructions", "5000"])
+        space = _write_tiny_space(tmp_path)
+        assert main(["sweep", profile, "--space", space,
+                     "--objective", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "best average config (energy):" in out
+
+    def test_sweep_objective_choices_are_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(tmp_path / "x.profile"),
+                  "--objective", "ipc"])
+
+
+class TestSearchCommand:
+    @pytest.fixture
+    def profile_path(self, tmp_path):
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        return path
+
+    def test_search_default_space(self, profile_path, capsys):
+        assert main(["search", profile_path, "--budget", "20",
+                     "--optimizer", "random", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "table-6.3 (243 valid configurations)" in out
+        assert "evaluated:   20 configs" in out
+        assert "best edp:" in out
+        assert "best config: w" in out
+
+    def test_search_space_file_and_trajectory(self, tmp_path,
+                                              profile_path, capsys):
+        import json
+
+        space = _write_tiny_space(tmp_path)
+        out_path = str(tmp_path / "trajectory.json")
+        assert main(["search", profile_path, "--space", space,
+                     "--optimizer", "hill", "--budget", "10",
+                     "--objective", "seconds",
+                     "--trajectory", out_path]) == 0
+        data = json.load(open(out_path))
+        assert data["optimizer"] == "hill"
+        assert data["objective"] == "seconds"
+        assert 1 <= len(data["evaluations"]) <= 4
+        assert capsys.readouterr().out.count("eval") >= 1
+
+    def test_search_power_cap(self, profile_path, capsys):
+        assert main(["search", profile_path, "--budget", "15",
+                     "--optimizer", "sa", "--power-cap", "1000"]) == 0
+        assert "edp|P<=1000W" in capsys.readouterr().out
+
+    def test_search_is_seed_reproducible(self, profile_path, capsys):
+        args = ["search", profile_path, "--budget", "15",
+                "--optimizer", "ga", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+
+        def stable(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("evaluated:")]  # wall-clock
+
+        assert stable(first) == stable(second)
+
+    def test_population_rejected_for_non_ga(self, profile_path,
+                                            capsys):
+        assert main(["search", profile_path, "--optimizer", "sa",
+                     "--population", "8"]) == 2
+        assert "--population" in capsys.readouterr().err
+
+    def test_batch_size_rejected_for_ga(self, profile_path, capsys):
+        assert main(["search", profile_path, "--optimizer", "ga",
+                     "--batch-size", "4"]) == 2
+        assert "--population" in capsys.readouterr().err
 
 
 class TestParser:

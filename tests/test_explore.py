@@ -195,3 +195,38 @@ class TestCoreSelection:
         from repro.explore.dse import best_average_config
         with pytest.raises(ValueError):
             best_average_config({})
+
+
+class TestPublicAPI:
+    def test_star_import_is_well_defined(self):
+        """`from repro.explore import *` exposes exactly __all__."""
+        import repro.explore as explore
+        namespace = {}
+        exec("from repro.explore import *", namespace)
+        exported = {k for k in namespace if not k.startswith("__")}
+        assert exported == set(explore.__all__)
+
+    def test_all_names_resolve(self):
+        import repro.explore as explore
+        for name in explore.__all__:
+            assert getattr(explore, name) is not None
+
+    def test_search_api_exported(self):
+        from repro.explore import (
+            DesignSpace,
+            EvaluationBudget,
+            GeneticAlgorithm,
+            HillClimber,
+            Parameter,
+            RandomSearch,
+            SearchTrajectory,
+            SimulatedAnnealing,
+        )
+        assert DesignSpace.default().size() == 243
+        for cls in (RandomSearch, HillClimber, SimulatedAnnealing,
+                    GeneticAlgorithm):
+            assert cls(seed=0).seed == 0
+        assert EvaluationBudget(1).remaining == 1
+        assert Parameter.integer("rob_size", 64, 128, 64).values() == \
+            (64, 128)
+        assert SearchTrajectory(optimizer="x", seed=0).evaluations == []

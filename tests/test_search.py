@@ -1,0 +1,290 @@
+"""Guided search: objectives, budget, problem caching, optimizers."""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticalModel
+from repro.explore.engine import SweepEngine
+from repro.explore.search import (
+    EvaluationBudget,
+    SearchProblem,
+    SearchTrajectory,
+    get_objective,
+    make_optimizer,
+    power_capped,
+)
+from repro.explore.space import DesignSpace, Parameter
+
+SPACE = DesignSpace(
+    parameters=(
+        Parameter.integer("dispatch_width", 2, 6, 2),
+        Parameter.integer("rob_size", 64, 256, 64),
+        Parameter.categorical("llc_mb", (2, 8)),
+        Parameter.real("frequency_ghz", 1.66, 3.66, 1.0),
+    ),
+    name="search-test",
+)  # 3 * 4 * 2 * 3 = 72 points
+
+OPTIMIZER_NAMES = ("random", "hill", "sa", "ga")
+
+
+def signature(trajectory):
+    """The deterministic part of a trajectory (order, points, fitness)."""
+    return [(e.index, tuple(sorted(e.point.items())), e.fitness)
+            for e in trajectory.evaluations]
+
+
+def make_problem(profile, objective="edp", workers=1, **kwargs):
+    return SearchProblem(
+        [profile], SPACE, get_objective(objective, **kwargs),
+        engine=SweepEngine(workers=workers),
+    )
+
+
+class TestObjectives:
+    def test_registry_names(self):
+        for name in ("seconds", "energy", "edp", "ed2p"):
+            assert get_objective(name).name == name
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            get_objective("ipc")
+
+    def test_metric_values_match_design_point(self, gcc_profile):
+        problem = make_problem(gcc_profile, "edp")
+        point = SPACE.points()[0]
+        (fitness,) = problem.evaluate([point])
+        expected = AnalyticalModel().predict(
+            gcc_profile, SPACE.config(point)).edp
+        assert fitness == expected
+
+    def test_power_capped_marks_infeasible_inf(self, gcc_profile):
+        base = get_objective("seconds")
+        capped = power_capped(base, 1e-6)   # nothing fits this cap
+        problem = SearchProblem([gcc_profile], SPACE, capped)
+        (fitness,) = problem.evaluate([SPACE.points()[0]])
+        assert fitness == math.inf
+
+    def test_power_capped_passthrough_when_feasible(self, gcc_profile):
+        capped = get_objective("seconds", power_cap_watts=1e6)
+        problem = SearchProblem([gcc_profile], SPACE, capped)
+        point = SPACE.points()[0]
+        (fitness,) = problem.evaluate([point])
+        (reference,) = make_problem(gcc_profile,
+                                    "seconds").evaluate([point])
+        assert fitness == reference
+
+
+class TestEvaluationBudget:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EvaluationBudget(0)
+
+    def test_consumption(self):
+        budget = EvaluationBudget(2)
+        assert budget.try_consume() and budget.try_consume()
+        assert not budget.try_consume()
+        assert budget.exhausted and budget.remaining == 0
+
+    def test_of_coerces_int(self):
+        assert EvaluationBudget.of(5).max_evaluations == 5
+        budget = EvaluationBudget(3)
+        assert EvaluationBudget.of(budget) is budget
+
+
+class TestSearchProblem:
+    def test_cache_spends_budget_once(self, gcc_profile):
+        problem = make_problem(gcc_profile)
+        budget = EvaluationBudget(10)
+        point = SPACE.points()[0]
+        first = problem.evaluate([point], budget)
+        second = problem.evaluate([point], budget)
+        assert first == second
+        assert budget.spent == 1
+        assert problem.cache_size == 1
+
+    def test_duplicates_in_one_batch_cost_one(self, gcc_profile):
+        problem = make_problem(gcc_profile)
+        budget = EvaluationBudget(10)
+        point = SPACE.points()[0]
+        values = problem.evaluate([point, dict(point)], budget)
+        assert values[0] == values[1] is not None
+        assert budget.spent == 1
+
+    def test_budget_truncates_batch(self, gcc_profile):
+        problem = make_problem(gcc_profile)
+        budget = EvaluationBudget(2)
+        points = SPACE.points()[:4]
+        values = problem.evaluate(points, budget, SearchTrajectory(
+            optimizer="x", seed=0))
+        assert values[:2] == problem.evaluate(points[:2])
+        assert values[2] is None and values[3] is None
+
+    def test_trajectory_records_new_evaluations_only(self, gcc_profile):
+        problem = make_problem(gcc_profile)
+        trajectory = SearchTrajectory(optimizer="x", seed=0)
+        points = SPACE.points()[:3]
+        problem.evaluate(points, EvaluationBudget(10), trajectory)
+        problem.evaluate(points, EvaluationBudget(10), trajectory)
+        assert len(trajectory) == 3
+        assert [e.index for e in trajectory.evaluations] == [0, 1, 2]
+
+    def test_multi_profile_fitness_is_mean(self, gcc_profile,
+                                           gamess_profile):
+        objective = get_objective("seconds")
+        point = SPACE.points()[0]
+        combined = SearchProblem([gcc_profile, gamess_profile], SPACE,
+                                 objective)
+        (fitness,) = combined.evaluate([point])
+        singles = []
+        for profile in (gcc_profile, gamess_profile):
+            (value,) = SearchProblem([profile], SPACE,
+                                     objective).evaluate([point])
+            singles.append(value)
+        assert fitness == sum(singles) / 2
+
+    def test_requires_profiles(self):
+        with pytest.raises(ValueError):
+            SearchProblem([], SPACE, get_objective("edp"))
+
+    def test_model_cache_persists_across_batches(self, gcc_profile):
+        """Memoized intermediates survive between proposal batches."""
+        problem = make_problem(gcc_profile)
+        model = problem.engine.model
+        assert model.cache is not None
+        problem.evaluate(SPACE.points()[:2])
+        size_after_first = len(model.cache)
+        assert size_after_first > 0
+        problem.evaluate(SPACE.points()[:2])  # cached fitnesses
+        assert len(model.cache) == size_after_first
+
+    def test_caller_attached_cache_is_reused(self, gcc_profile):
+        from repro.core.interval import ModelCache
+
+        cache = ModelCache()
+        engine = SweepEngine(model=AnalyticalModel(cache=cache),
+                             workers=1)
+        problem = SearchProblem([gcc_profile], SPACE,
+                                get_objective("edp"), engine=engine)
+        problem.evaluate(SPACE.points()[:1])
+        assert engine.model.cache is cache
+        assert len(cache) > 0
+
+    def test_exhaustive_best_is_the_minimum(self, gcc_profile):
+        problem = make_problem(gcc_profile)
+        best_point, best_fitness = problem.exhaustive_best()
+        fitness = problem.evaluate(SPACE.points())
+        assert best_fitness == min(fitness)
+        assert problem.cache_size == SPACE.size()
+        (again,) = problem.evaluate([best_point])
+        assert again == best_fitness
+
+
+class TestTrajectory:
+    def test_best_and_curve(self):
+        trajectory = SearchTrajectory(optimizer="x", seed=0)
+        for value in (3.0, 1.0, 2.0, 1.0):
+            trajectory.record({"a": value}, value)
+        assert trajectory.best.fitness == 1.0
+        assert trajectory.best.index == 1  # earliest best wins
+        assert trajectory.best_curve() == [3.0, 1.0, 1.0, 1.0]
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError):
+            SearchTrajectory(optimizer="x", seed=0).best
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+        trajectory = SearchTrajectory(optimizer="x", seed=3,
+                                      objective="edp")
+        trajectory.record({"a": 1}, 2.0)
+        data = json.loads(json.dumps(trajectory.as_dict()))
+        assert data["optimizer"] == "x" and data["seed"] == 3
+        assert data["best_fitness"] == 2.0
+        assert data["evaluations"][0]["point"] == {"a": 1}
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("name", OPTIMIZER_NAMES)
+    def test_same_seed_identical_trajectory(self, gcc_profile, name):
+        runs = [
+            make_optimizer(name, seed=11).search(
+                make_problem(gcc_profile), 30)
+            for _ in range(2)
+        ]
+        assert signature(runs[0]) == signature(runs[1])
+
+    @pytest.mark.parametrize("name", OPTIMIZER_NAMES)
+    def test_parallel_engine_identical_trajectory(self, gcc_profile,
+                                                  name):
+        serial = make_optimizer(name, seed=11).search(
+            make_problem(gcc_profile), 30)
+        parallel = make_optimizer(name, seed=11).search(
+            make_problem(gcc_profile, workers=2), 30)
+        assert signature(serial) == signature(parallel)
+
+    @pytest.mark.parametrize("name", OPTIMIZER_NAMES)
+    def test_different_seed_diverges(self, gcc_profile, name):
+        a = make_optimizer(name, seed=0).search(
+            make_problem(gcc_profile), 30)
+        b = make_optimizer(name, seed=12345).search(
+            make_problem(gcc_profile), 30)
+        assert signature(a) != signature(b)
+
+    @pytest.mark.parametrize("name", OPTIMIZER_NAMES)
+    def test_budget_respected_and_terminates(self, gcc_profile, name):
+        trajectory = make_optimizer(name, seed=0).search(
+            make_problem(gcc_profile), 20)
+        assert 1 <= len(trajectory) <= 20
+
+    @pytest.mark.parametrize("name", OPTIMIZER_NAMES)
+    def test_small_space_gets_near_optimum(self, gcc_profile, name):
+        problem = make_problem(gcc_profile)
+        _, optimum = problem.exhaustive_best()
+        trajectory = make_optimizer(name, seed=0).search(
+            make_problem(gcc_profile), 40)
+        assert trajectory.best_fitness <= 1.10 * optimum
+
+    def test_exhausted_space_stops_early(self, gcc_profile):
+        tiny = DesignSpace(
+            parameters=(Parameter.categorical("dispatch_width", (2, 4)),
+                        Parameter.categorical("rob_size", (64, 128))),
+        )
+        problem = SearchProblem([gcc_profile], tiny,
+                                get_objective("edp"))
+        optimizer = make_optimizer("random", seed=0,
+                                   max_stagnant_rounds=3)
+        trajectory = optimizer.search(problem, 1000)
+        assert len(trajectory) == tiny.size()
+
+    def test_trajectory_metadata(self, gcc_profile):
+        trajectory = make_optimizer("sa", seed=5).search(
+            make_problem(gcc_profile), 10)
+        assert trajectory.optimizer == "sa"
+        assert trajectory.seed == 5
+        assert trajectory.objective == "edp"
+        assert trajectory.wall_seconds > 0
+        curve = trajectory.best_curve()
+        assert curve == sorted(curve, reverse=True)
+
+    def test_power_capped_search_respects_cap(self, gcc_profile):
+        problem = make_problem(gcc_profile, "seconds",
+                               power_cap_watts=8.0)
+        trajectory = make_optimizer("ga", seed=0).search(problem, 40)
+        best_config = SPACE.config(trajectory.best_point)
+        result = AnalyticalModel().predict(gcc_profile, best_config)
+        assert trajectory.best_fitness < math.inf
+        assert result.power_watts <= 8.0
+
+    def test_make_optimizer_unknown(self):
+        with pytest.raises(ValueError):
+            make_optimizer("bayes")
+
+    def test_ga_population_validation(self):
+        with pytest.raises(ValueError):
+            make_optimizer("ga", population=1)
+
+    def test_sa_cooling_validation(self):
+        with pytest.raises(ValueError):
+            make_optimizer("sa", cooling=1.5)

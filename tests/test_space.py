@@ -1,0 +1,218 @@
+"""Declarative design spaces: parameters, constraints, JSON, default."""
+
+import random
+
+import pytest
+
+from repro.core.machine import config_from_params, design_space
+from repro.explore.space import DesignSpace, Parameter
+
+
+def small_space(constraints=()):
+    return DesignSpace(
+        parameters=(
+            Parameter.integer("dispatch_width", 2, 6, 2),
+            Parameter.integer("rob_size", 64, 256, 64),
+            Parameter.categorical("llc_mb", (2, 8)),
+            Parameter.real("frequency_ghz", 1.66, 3.66, 1.0),
+        ),
+        constraints=tuple(constraints),
+        name="small",
+    )
+
+
+class TestParameter:
+    def test_integer_values(self):
+        p = Parameter.integer("rob_size", 64, 256, 64)
+        assert p.values() == (64, 128, 192, 256)
+
+    def test_real_values_are_stable(self):
+        p = Parameter.real("frequency_ghz", 1.2, 3.6, 0.3)
+        values = p.values()
+        assert len(values) == 9
+        assert values[0] == 1.2 and values[-1] == 3.6
+        assert values == p.values()  # no accumulation drift
+
+    def test_categorical_values_verbatim(self):
+        p = Parameter.categorical("l1d_kb", (16, 32, 64))
+        assert p.values() == (16, 32, 64)
+
+    @pytest.mark.parametrize("bad", [
+        dict(name="x", kind="bool"),
+        dict(name="x", kind="categorical", choices=()),
+        dict(name="x", kind="int", low=4, high=2, step=1),
+        dict(name="x", kind="int", low=2, high=4, step=0),
+        dict(name="x", kind="float", low=None, high=4.0, step=1.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            Parameter(**bad)
+
+    def test_sample_in_grid(self):
+        p = Parameter.integer("rob_size", 64, 256, 64)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert p.sample(rng) in p.values()
+
+    def test_mutate_moves_to_nearby_grid_value(self):
+        p = Parameter.integer("rob_size", 64, 256, 64)
+        rng = random.Random(0)
+        for _ in range(50):
+            mutated = p.mutate(128, rng)
+            assert mutated in p.values()
+            assert mutated != 128
+            assert abs(p.values().index(mutated) - 1) <= 2
+
+    def test_mutate_categorical_always_differs(self):
+        p = Parameter.categorical("llc_mb", (2, 4, 8))
+        rng = random.Random(1)
+        assert all(p.mutate(4, rng) != 4 for _ in range(20))
+
+    def test_mutate_single_value_parameter(self):
+        p = Parameter.categorical("llc_mb", (8,))
+        assert p.mutate(8, random.Random(0)) == 8
+
+    def test_mutate_off_grid_redraws(self):
+        p = Parameter.integer("rob_size", 64, 256, 64)
+        assert p.mutate(100, random.Random(0)) in p.values()
+
+    def test_dict_round_trip(self):
+        for p in (Parameter.integer("a", 1, 9, 2),
+                  Parameter.real("b", 0.5, 2.5, 0.5),
+                  Parameter.categorical("c", ("x", "y"))):
+            assert Parameter.from_dict(p.to_dict()) == p
+
+
+class TestDesignSpace:
+    def test_grid_size_and_enumeration(self):
+        space = small_space()
+        assert space.grid_size() == 3 * 4 * 2 * 3
+        points = space.points()
+        assert len(points) == space.size() == space.grid_size()
+        assert len({space.key(p) for p in points}) == len(points)
+
+    def test_constraints_filter_enumeration(self):
+        space = small_space(["rob_size >= 32 * dispatch_width"])
+        points = space.points()
+        assert points and all(
+            p["rob_size"] >= 32 * p["dispatch_width"] for p in points
+        )
+        assert space.size() < space.grid_size()
+
+    def test_sample_and_mutate_respect_constraints(self):
+        space = small_space(["rob_size >= 32 * dispatch_width"])
+        rng = random.Random(7)
+        for _ in range(30):
+            point = space.sample(rng)
+            assert space.satisfies(point)
+            mutated = space.mutate(point, rng)
+            assert space.satisfies(mutated)
+            assert mutated != point
+
+    def test_crossover_mixes_parents(self):
+        space = small_space()
+        rng = random.Random(3)
+        a, b = space.sample(rng), space.sample(rng)
+        child = space.crossover(a, b, rng)
+        assert space.satisfies(child)
+        for name, value in child.items():
+            assert value in (a[name], b[name])
+
+    def test_unsatisfiable_sampling_raises(self):
+        space = small_space(["rob_size > 10000"])
+        with pytest.raises(ValueError):
+            space.sample(random.Random(0), max_tries=50)
+
+    @pytest.mark.parametrize("expression", [
+        "__import__('os').system('true')",          # call
+        "().__class__.__base__.__subclasses__()",   # dunder escape
+        "rob_size.__class__",                       # attribute access
+        "[x for x in (1,)]",                        # comprehension
+        "rob >= 16",                                # unknown name
+        "rob_size >=",                              # syntax error
+    ])
+    def test_malicious_or_invalid_constraints_rejected(self,
+                                                       expression):
+        """Constraints are validated at construction, not mid-search."""
+        with pytest.raises(ValueError):
+            small_space([expression])
+
+    def test_invalid_constraint_rejected_at_load_time(self, tmp_path):
+        text = small_space().to_json().replace(
+            '"constraints": []',
+            '"constraints": ["__import__(\'os\')"]')
+        with pytest.raises(ValueError):
+            DesignSpace.from_json(text)
+
+    def test_arithmetic_boolean_constraints_allowed(self):
+        space = small_space([
+            "rob_size >= 32 * dispatch_width and llc_mb in (2, 8)",
+            "not (frequency_ghz > 3.66)",
+        ])
+        assert space.size() > 0
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(parameters=(
+                Parameter.categorical("llc_mb", (2,)),
+                Parameter.categorical("llc_mb", (4,)),
+            ))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(parameters=())
+
+    def test_config_construction(self):
+        space = small_space()
+        point = space.points()[0]
+        config = space.config(point)
+        assert config.dispatch_width == point["dispatch_width"]
+        assert config.rob_size == point["rob_size"]
+        assert config == config_from_params(point)
+
+    def test_unknown_parameter_name_rejected_at_construction(self):
+        """Typos fail when the space is declared/loaded, not mid-search."""
+        with pytest.raises(ValueError, match="not_a_knob"):
+            DesignSpace(
+                parameters=(Parameter.categorical("not_a_knob", (1,)),)
+            )
+
+    def test_duplicate_categorical_choices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate choices"):
+            Parameter.categorical("llc_mb", (2, 2))
+
+    def test_from_dict_missing_field_is_value_error(self):
+        with pytest.raises(ValueError, match="missing"):
+            Parameter.from_dict({"name": "frequency_ghz",
+                                 "kind": "float",
+                                 "low": 1.2, "high": 3.6})
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        space = small_space(["rob_size >= 32 * dispatch_width"])
+        assert DesignSpace.from_json(space.to_json()) == space
+        path = str(tmp_path / "space.json")
+        space.save(path)
+        loaded = DesignSpace.load(path)
+        assert loaded == space
+        assert loaded.configs() == space.configs()
+
+    def test_unsupported_version_rejected(self):
+        text = small_space().to_json().replace(
+            '"version": 1', '"version": 999')
+        with pytest.raises(ValueError):
+            DesignSpace.from_json(text)
+
+
+class TestDefaultSpace:
+    def test_default_reproduces_design_space_bitwise(self):
+        """DesignSpace.default() == the historical Table 6.3 grid."""
+        assert DesignSpace.default().configs() == design_space()
+
+    def test_default_round_trips_and_still_matches(self):
+        reloaded = DesignSpace.from_json(DesignSpace.default().to_json())
+        assert reloaded.configs() == design_space()
+
+    def test_default_size(self):
+        assert DesignSpace.default().size() == 243
