@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Example: close the accuracy loop with a validation campaign.
+
+Runs the analytical model and the cycle-level reference simulator over
+the same small (workloads x configurations) grid and prints the thesis
+§7.4-style report: per-design CPI/time/power errors, CPI-stack
+component errors, the Pareto filtering metrics (sensitivity,
+specificity, accuracy, HVR) and the §7.5 mechanistic-vs-empirical
+baseline comparison.
+
+Run:  PYTHONPATH=src python examples/validation_campaign.py
+"""
+
+from repro.core.machine import design_space
+from repro.explore.validate import ValidationCampaign
+
+# A deliberately tiny grid so the example runs in seconds; scale the
+# axes (or pass DesignSpace.default()) for a real campaign.
+CONFIGS = design_space({
+    "dispatch_width": (2, 4),
+    "llc_mb": (2, 8),
+    "rob_size": (64, 128),
+    "l1d_kb": (16, 32),
+})
+
+
+def main() -> int:
+    campaign = ValidationCampaign.from_workloads(
+        ["gcc", "libquantum"],
+        CONFIGS,
+        instructions=4_000,
+        train_fraction=0.25,
+        seed=0,
+        space_name="example-grid",
+    )
+    report = campaign.run()
+    print("\n".join(report.summary_lines()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,5 @@
-"""Command-line interface: profile, predict, simulate, sweep, search.
+"""Command-line interface: profile, predict, simulate, sweep, search,
+validate, dvfs.
 
 Mirrors the released AIP/PMT workflow: ``profile`` writes a reusable
 profile file; ``predict`` evaluates the analytical model against it for a
@@ -6,7 +7,9 @@ named or custom configuration; ``simulate`` runs the cycle-level
 reference; ``sweep`` explores a design space and reports the Pareto
 frontier; ``search`` runs a guided (random / hill / simulated-annealing
 / genetic) optimizer over a declarative design space under an
-evaluation budget.
+evaluation budget; ``validate`` runs model and simulator over the same
+grid and reports the thesis §7.4/§7.5 accuracy metrics; ``dvfs``
+explores DVFS operating points and the ED²P optimum.
 
 Examples::
 
@@ -22,6 +25,9 @@ Examples::
         --budget 200 --objective edp --seed 0
     python -m repro.cli search gcc.profile --space space.json \\
         --optimizer sa --budget 500 --trajectory out.json
+    python -m repro.cli validate gcc mcf --limit 64 --workers 4 \\
+        --json report.json
+    python -m repro.cli dvfs gcc.profile --power-cap 12
 """
 
 from __future__ import annotations
@@ -34,10 +40,17 @@ from typing import List, Optional
 
 from repro.caches.cache import CacheConfig
 from repro.core import AnalyticalModel, nehalem
-from repro.core.machine import MachineConfig
+from repro.core.machine import DVFSPoint, MachineConfig, dvfs_vdd
 from repro.explore.dse import best_average_config
+from repro.explore.dvfs import (
+    best_under_power_cap,
+    config_at,
+    explore_dvfs,
+    optimal_ed2p,
+)
 from repro.explore.engine import SweepEngine
 from repro.explore.pareto import StreamingParetoFront
+from repro.explore.validate import ValidationCampaign
 from repro.explore.search import (
     OBJECTIVES,
     OPTIMIZERS,
@@ -159,12 +172,36 @@ def _load_space(path: Optional[str]) -> DesignSpace:
     return DesignSpace.default()
 
 
+def _duplicate_names(names: List[str]) -> List[str]:
+    """Names appearing more than once (results are keyed on them)."""
+    return sorted({name for name in names if names.count(name) > 1})
+
+
+def _limited_configs(space, limit: Optional[int]):
+    """The space's config list truncated to ``limit``, or ``None`` on a
+    negative limit (the caller reports the error)."""
+    configs = space.configs()
+    if limit is None:
+        return configs
+    if limit < 0:
+        return None
+    return configs[:limit]
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     profiles = [load_profile(path) for path in args.profiles]
+    duplicates = _duplicate_names([p.name for p in profiles])
+    if duplicates:
+        print("error: duplicate profile name(s): "
+              + ", ".join(duplicates)
+              + " (results are keyed by workload name; profiles would "
+              "silently merge)", file=sys.stderr)
+        return 2
     space = _load_space(args.space)
-    configs = space.configs()
-    if args.limit:
-        configs = configs[:args.limit]
+    configs = _limited_configs(space, args.limit)
+    if configs is None:
+        print("error: --limit must be >= 0", file=sys.stderr)
+        return 2
     store = ProfileStore(args.cache) if args.cache else None
     engine = SweepEngine(workers=args.workers, store=store)
 
@@ -185,6 +222,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"  {point.config.name:<32s} "
                   f"{point.seconds * 1e6:9.1f} us "
                   f"{point.power_watts:7.2f} W  CPI {point.cpi:5.2f}")
+    if not configs:
+        return 0
     if args.objective:
         objective = get_objective(args.objective)
         best = best_average_config(results, metric=objective.metric)
@@ -257,6 +296,87 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    duplicates = _duplicate_names(args.workloads)
+    if duplicates:
+        print("error: duplicate workload name(s): "
+              + ", ".join(duplicates), file=sys.stderr)
+        return 2
+    if not 0.0 <= args.train_fraction < 1.0:
+        print("error: --train-fraction must be in [0, 1)",
+              file=sys.stderr)
+        return 2
+    space = _load_space(args.space)
+    configs = _limited_configs(space, args.limit)
+    if configs is None:
+        print("error: --limit must be >= 0", file=sys.stderr)
+        return 2
+    if not configs:
+        print("error: empty configuration grid", file=sys.stderr)
+        return 2
+    sampling = SamplingConfig(args.micro_trace, args.window)
+    campaign = ValidationCampaign.from_workloads(
+        args.workloads,
+        configs,
+        instructions=args.instructions,
+        sampling=sampling,
+        trace_seed=args.trace_seed,
+        model_workers=args.workers,
+        sim_workers=args.workers,
+        train_fraction=args.train_fraction,
+        seed=args.seed,
+        space_name=space.name,
+    )
+    report = campaign.run()
+    print("\n".join(report.summary_lines()))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"report -> {args.json}")
+    return 0
+
+
+def cmd_dvfs(args: argparse.Namespace) -> int:
+    profile = load_profile(args.profile)
+    base = _config_from_args(args)
+    points = None
+    if args.frequencies:
+        try:
+            frequencies = [float(text)
+                           for text in args.frequencies.split(",")]
+        except ValueError:
+            print(f"error: --frequencies must be comma-separated "
+                  f"numbers, got {args.frequencies!r}", file=sys.stderr)
+            return 2
+        points = [DVFSPoint(frequency, dvfs_vdd(frequency))
+                  for frequency in frequencies]
+    engine = (SweepEngine(workers=args.workers)
+              if args.workers > 1 else None)
+    results = explore_dvfs(profile, base, points=points, engine=engine)
+    best = optimal_ed2p(results)
+    print(f"workload: {profile.name}   base: {base.name}")
+    for result in results:
+        marker = "   <- ED2P optimum" if result is best else ""
+        print(f"  {result.point.frequency_ghz:5.2f} GHz "
+              f"@{result.point.vdd:.2f} V  "
+              f"{result.seconds * 1e3:8.3f} ms  "
+              f"{result.power_watts:6.2f} W  "
+              f"{result.energy_joules * 1e3:8.3f} mJ  "
+              f"ED2P {result.ed2p:.3e}{marker}")
+    if args.power_cap is not None:
+        candidates = [(config_at(base, result.point), result.result)
+                      for result in results]
+        capped = best_under_power_cap(candidates, args.power_cap)
+        if capped is None:
+            print(f"no operating point fits {args.power_cap:.1f} W")
+        else:
+            config, result = capped
+            print(f"fastest under {args.power_cap:.1f} W: {config.name} "
+                  f"({result.seconds * 1e3:.3f} ms, "
+                  f"{result.power_watts:.2f} W)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -314,8 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="rank the best average config by this "
                           "objective (default: average CPI)")
-    sub.add_argument("--limit", type=int, default=0,
-                     help="evaluate only the first N configurations")
+    sub.add_argument("--limit", type=int, default=None,
+                     help="evaluate only the first N configurations "
+                          "(0 evaluates none)")
     sub.add_argument("--workers", type=int, default=1,
                      help="worker processes (1 = serial)")
     sub.add_argument("--cache", default=None, metavar="DIR",
@@ -358,6 +479,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--trajectory", default=None, metavar="OUT.json",
                      help="write the full search trajectory as JSON")
     sub.set_defaults(func=cmd_search)
+
+    sub = subparsers.add_parser(
+        "validate",
+        help="model-vs-simulator validation campaign (thesis "
+             "S7.4/S7.5)")
+    sub.add_argument("workloads", nargs="+", metavar="workload",
+                     help="workload names (see 'workloads')")
+    sub.add_argument("--space", default=None, metavar="FILE.json",
+                     help="declarative DesignSpace JSON (default: the "
+                          "Table 6.3 grid)")
+    sub.add_argument("--limit", type=int, default=None,
+                     help="validate only the first N configurations")
+    sub.add_argument("--instructions", type=int, default=20_000,
+                     help="trace length per workload")
+    sub.add_argument("--micro-trace", type=int, default=1000)
+    sub.add_argument("--window", type=int, default=5000)
+    sub.add_argument("--trace-seed", type=int, default=42,
+                     help="seed of the trace generators")
+    sub.add_argument("--train-fraction", type=float, default=0.25,
+                     help="fraction of simulated designs used to train "
+                          "the S7.5 empirical baseline (0 disables)")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="seed of the baseline subsample RNG")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes for both sweeps "
+                          "(1 = serial; results are identical)")
+    sub.add_argument("--json", default=None, metavar="OUT.json",
+                     help="write the full report as JSON")
+    sub.set_defaults(func=cmd_validate)
+
+    sub = subparsers.add_parser(
+        "dvfs",
+        help="DVFS operating-point exploration (thesis S7.2-7.3)")
+    sub.add_argument("profile", help="profile file from 'profile'")
+    sub.add_argument("--frequencies", default=None,
+                     metavar="GHZ[,GHZ...]",
+                     help="comma-separated operating frequencies "
+                          "(default: the Table 7.2 grid)")
+    sub.add_argument("--power-cap", type=float, default=None,
+                     metavar="WATTS",
+                     help="also report the fastest point under this cap")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="evaluate the grid through a SweepEngine "
+                          "with this many workers (1 = local loop)")
+    _add_config_arguments(sub)
+    sub.set_defaults(func=cmd_dvfs)
 
     return parser
 

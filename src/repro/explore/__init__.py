@@ -15,6 +15,13 @@ optimizers of :mod:`repro.explore.search` (random / hill-climbing /
 simulated annealing / genetic), which drive batched evaluations through
 the engine under an :class:`~repro.explore.search.EvaluationBudget` and
 record full :class:`~repro.explore.search.SearchTrajectory` objects.
+
+The accuracy loop is closed by :mod:`repro.explore.validate`:
+:class:`~repro.explore.validate.ValidationCampaign` runs the analytical
+model and the cycle-level simulator over the same grid (the simulator
+on its own parallel :class:`~repro.explore.validate.SimulationSweep`)
+and reports per-design errors, CPI-stack component errors, the §7.4
+Pareto filtering metrics and the §7.5 empirical-baseline comparison.
 """
 
 from repro.explore.dse import (
@@ -39,6 +46,15 @@ from repro.explore.dvfs import (
     optimal_ed2p,
 )
 from repro.explore.empirical import EmpiricalModel
+from repro.explore.validate import (
+    BaselineComparison,
+    SimulatedPoint,
+    SimulationSweep,
+    ValidationCampaign,
+    ValidationCase,
+    ValidationReport,
+    WorkloadValidation,
+)
 from repro.explore.cost import (
     EvaluationCost,
     interval_model_cost,
@@ -99,6 +115,13 @@ __all__ = [
     "explore_dvfs",
     "optimal_ed2p",
     "EmpiricalModel",
+    "BaselineComparison",
+    "SimulatedPoint",
+    "SimulationSweep",
+    "ValidationCampaign",
+    "ValidationCase",
+    "ValidationReport",
+    "WorkloadValidation",
     "EvaluationCost",
     "interval_model_cost",
     "micro_arch_independent_cost",

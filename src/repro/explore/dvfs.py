@@ -105,7 +105,14 @@ def explore_dvfs(
     points = list(points or dvfs_points())
     configs = [config_at(base, point) for point in points]
     if engine is not None:
-        stream = engine.iter_sweep([profile], configs)
+        stream = list(engine.iter_sweep([profile], configs))
+        if len(stream) != len(points):
+            # zip() would silently truncate; a short stream means the
+            # engine dropped results and the pairing would be wrong.
+            raise ValueError(
+                f"engine yielded {len(stream)} results for "
+                f"{len(points)} DVFS operating points"
+            )
         return [
             DVFSResult(point=point, result=design_point.result)
             for point, design_point in zip(points, stream)

@@ -19,7 +19,7 @@ with four metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Sequence, Set, Tuple
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 Point = Tuple[float, float]  # (delay-like, power-like): lower is better
 
@@ -97,9 +97,40 @@ class StreamingParetoFront:
 def pareto_front(points: Sequence[Point]) -> List[int]:
     """Indices of the non-dominated points (both objectives minimized).
 
+    Sort-based O(n log n) sweep: points are visited in ascending
+    ``(x, y)`` order while tracking the best (lowest) ``y`` seen at any
+    strictly smaller ``x``.  Within a group sharing one ``x`` only the
+    lowest-``y`` members can be optimal (higher ones are dominated
+    in-group), and they are optimal exactly when that ``y`` improves on
+    everything to their left.  Equivalent, index set included, to the
+    quadratic all-pairs scan (see :func:`_pareto_front_quadratic`).
+
     Ties: duplicated coordinates are all kept (they dominate nothing and
     are not strictly dominated).
     """
+    n = len(points)
+    order = sorted(range(n), key=lambda i: points[i])
+    indices: List[int] = []
+    best_y = float("inf")
+    i = 0
+    while i < n:
+        x = points[order[i]][0]
+        group_min_y = points[order[i]][1]  # sorted: first y is minimal
+        j = i
+        while j < n and points[order[j]][0] == x:
+            j += 1
+        if group_min_y < best_y:
+            for k in range(i, j):
+                if points[order[k]][1] == group_min_y:
+                    indices.append(order[k])
+            best_y = group_min_y
+        i = j
+    indices.sort()
+    return indices
+
+
+def _pareto_front_quadratic(points: Sequence[Point]) -> List[int]:
+    """Reference all-pairs O(n^2) frontier; ground truth for tests."""
     indices: List[int] = []
     for i, (x_i, y_i) in enumerate(points):
         dominated = False
@@ -147,21 +178,33 @@ def hypervolume(points: Sequence[Point], reference: Point) -> float:
 def hvr(
     true_points: Sequence[Point],
     selected_true_points: Sequence[Point],
-    reference: Point = None,
+    reference: Optional[Point] = None,
 ) -> float:
     """Hypervolume ratio (Fig 7.8).
 
     ``selected_true_points`` are the *true* coordinates of the designs the
     prediction picked; their dominated hypervolume is compared with the
     full true frontier's.
+
+    The default reference point spans the **union** of both point sets
+    (1.1x their per-axis maxima): a reference derived from the true
+    frontier alone would clip selected designs lying beyond it to zero
+    contribution, understating the ratio for predictions whose picks are
+    dominated but far from the front.
     """
     if reference is None:
         xs = [p[0] for p in true_points]
+        xs += [p[0] for p in selected_true_points]
         ys = [p[1] for p in true_points]
+        ys += [p[1] for p in selected_true_points]
         reference = (max(xs) * 1.1, max(ys) * 1.1)
     denominator = hypervolume(true_points, reference)
     if denominator == 0.0:
-        return 1.0
+        # Zero-extent true frontier (e.g. a point with a zero
+        # coordinate): the ratio is undefined, so score by coverage
+        # instead of rewarding every selection -- including the empty
+        # one -- with a perfect 1.0.
+        return 1.0 if set(true_points) <= set(selected_true_points) else 0.0
     return hypervolume(selected_true_points, reference) / denominator
 
 

@@ -1,0 +1,820 @@
+"""Model-vs-simulator validation campaigns (thesis §7.4-§7.5).
+
+The paper's headline claim is not that the analytical model is fast --
+it is that the fast model *filters the design space as well as detailed
+simulation*.  This module closes that accuracy loop: a
+:class:`ValidationCampaign` evaluates the analytical model (through the
+:class:`~repro.explore.engine.SweepEngine`) and the cycle-level
+reference simulator over the *same* (workloads x configurations) grid,
+then folds both result streams into a per-workload report:
+
+* per-design seconds / power / CPI error
+  (:func:`~repro.explore.dse.error_statistics`);
+* per-component CPI-stack error (model stack vs the simulator's
+  ``STACK_KEYS``, with the model's ``llc_chain`` component compared
+  against the simulator's ``llc`` attribution);
+* the four Pareto filtering metrics of §7.4 (sensitivity, specificity,
+  accuracy, HVR) scoring the predicted (seconds, power) frontier
+  against the simulated one;
+* the §7.5 mechanistic-vs-empirical comparison: a ridge-regression
+  :class:`~repro.explore.empirical.EmpiricalModel` is trained on a
+  seeded subsample of the *simulated* results and both models are
+  scored on the held-out remainder.
+
+Simulation is the slow side, so :class:`SimulationSweep` parallelizes
+it with the same discipline as the model-side engine: (workload,
+config-chunk) batches on a ``multiprocessing`` pool, deterministic
+profile-major yield order, and a transparent serial fallback.  Reports
+are bitwise identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.machine import MachineConfig
+from repro.core.model import AnalyticalModel
+from repro.core.power import PowerBreakdown, PowerModel
+from repro.explore.dse import DesignPoint, ErrorStats, error_statistics
+from repro.explore.empirical import EmpiricalModel
+from repro.explore.engine import SweepEngine
+from repro.explore.pareto import ParetoMetrics, pareto_metrics
+from repro.profiler.profile import ApplicationProfile
+from repro.simulator.simulator import (
+    STACK_KEYS,
+    SimulationResult,
+    simulate,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "SimulatedPoint",
+    "SimulationSweep",
+    "ValidationCase",
+    "BaselineComparison",
+    "WorkloadValidation",
+    "ValidationReport",
+    "ValidationCampaign",
+]
+
+#: Model CPI-stack component -> simulator ``STACK_KEYS`` component.  The
+#: model attributes LLC-hit chaining to ``llc_chain``; the simulator
+#: attributes the same stalls to ``llc``.
+STACK_COMPONENT_MAP: Dict[str, str] = {"llc_chain": "llc"}
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module level so it pickles under spawn too)
+# ----------------------------------------------------------------------
+
+_SIM_WORKER: Dict[str, object] = {}
+
+
+def _init_sim_worker(
+    traces: Sequence[Trace], configs: Sequence[MachineConfig]
+) -> None:
+    """Pool initializer: install the simulation grid in the worker."""
+    _SIM_WORKER["traces"] = traces
+    _SIM_WORKER["configs"] = configs
+
+
+def _run_sim_batch(task: Tuple[int, int, int]) -> List[SimulationResult]:
+    """Simulate one (trace, config-chunk) batch inside a worker."""
+    trace_index, start, stop = task
+    trace: Trace = _SIM_WORKER["traces"][trace_index]  # type: ignore[index]
+    configs = _SIM_WORKER["configs"]  # type: ignore[assignment]
+    return [simulate(trace, config) for config in configs[start:stop]]
+
+
+@dataclass
+class SimulatedPoint:
+    """One simulated (workload, configuration) evaluation.
+
+    The cycle-level twin of :class:`~repro.explore.dse.DesignPoint`:
+    measured activity is routed through the same power backend the
+    model uses, exactly as the paper feeds both through McPAT.
+
+    Attributes
+    ----------
+    workload:
+        Name of the simulated workload.
+    config:
+        The machine configuration simulated.
+    result:
+        The full :class:`~repro.simulator.simulator.SimulationResult`.
+    power:
+        Power evaluated at the *measured* activity factors.
+    """
+
+    workload: str
+    config: MachineConfig
+    result: SimulationResult
+    power: PowerBreakdown
+
+    @property
+    def cpi(self) -> float:
+        """Measured cycles per instruction."""
+        return self.result.cpi
+
+    @property
+    def seconds(self) -> float:
+        """Measured wall-clock execution time in seconds."""
+        return self.result.seconds
+
+    @property
+    def power_watts(self) -> float:
+        """Average power at the measured activity, in watts."""
+        return self.power.total
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy at the measured activity, in joules."""
+        return self.power.total * self.result.seconds
+
+
+class SimulationSweep:
+    """Evaluates (traces x configs) grids on the cycle-level simulator.
+
+    The simulator is the slow side of a validation campaign, so this
+    class mirrors the :class:`~repro.explore.engine.SweepEngine`
+    batching/streaming/serial-fallback discipline on its own
+    ``multiprocessing`` pool: the grid is partitioned into (trace,
+    config-chunk) batches, results stream back in deterministic
+    trace-major order, and platforms without working process support
+    fall back to an in-process serial loop with identical results.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``None`` uses ``os.cpu_count()``; values
+        ``<= 1`` select the serial path.  Serial and parallel runs
+        yield bitwise-identical points in the same order.
+    batch_size:
+        Configurations per worker task; defaults to roughly a quarter
+        of the per-worker share.
+    progress:
+        Optional ``progress(done, total)`` callback invoked after every
+        simulated point.
+
+    Examples
+    --------
+    >>> sweep = SimulationSweep(workers=4)                # doctest: +SKIP
+    >>> for point in sweep.iter_sweep(traces, configs):   # doctest: +SKIP
+    ...     print(point.workload, point.cpi)
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.workers = workers
+        self.batch_size = batch_size
+        self.progress = progress
+
+    def effective_workers(self) -> int:
+        """The worker count after resolving the ``None`` default."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
+
+    def _batches(
+        self, n_traces: int, n_configs: int
+    ) -> List[Tuple[int, int, int]]:
+        """Partition the grid into (trace, config-chunk) batch tasks."""
+        workers = self.effective_workers()
+        chunk = self.batch_size
+        if chunk is None:
+            chunk = max(1, -(-n_configs // max(1, workers * 4)))
+        tasks: List[Tuple[int, int, int]] = []
+        for trace_index in range(n_traces):
+            for start in range(0, n_configs, chunk):
+                tasks.append(
+                    (trace_index, start, min(start + chunk, n_configs))
+                )
+        return tasks
+
+    def iter_sweep(
+        self,
+        traces: Sequence[Trace],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator[SimulatedPoint]:
+        """Stream simulated points in deterministic grid order.
+
+        Points are yielded trace-major (all configs of the first trace,
+        then the second, ...), identically for the serial and parallel
+        paths.
+
+        Yields
+        ------
+        SimulatedPoint
+            One simulated (workload, configuration) pair at a time.
+        """
+        traces = list(traces)
+        configs = list(configs)
+        if (self.effective_workers() <= 1
+                or not traces or not configs):
+            yield from self._iter_serial(traces, configs)
+        else:
+            yield from self._iter_parallel(traces, configs)
+
+    def _fold(
+        self, trace: Trace, config: MachineConfig,
+        result: SimulationResult,
+    ) -> SimulatedPoint:
+        """Attach the power evaluation to one raw simulation result."""
+        power = PowerModel(config).evaluate(result.activity)
+        return SimulatedPoint(
+            workload=trace.name, config=config,
+            result=result, power=power,
+        )
+
+    def _iter_serial(
+        self,
+        traces: Sequence[Trace],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator[SimulatedPoint]:
+        total = len(traces) * len(configs)
+        done = 0
+        for trace in traces:
+            for config in configs:
+                point = self._fold(trace, config,
+                                   simulate(trace, config))
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total)
+                yield point
+
+    def _iter_parallel(
+        self,
+        traces: Sequence[Trace],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator[SimulatedPoint]:
+        try:
+            import multiprocessing
+        except ImportError:
+            yield from self._iter_serial(traces, configs)
+            return
+
+        tasks = self._batches(len(traces), len(configs))
+        workers = min(self.effective_workers(), len(tasks))
+        try:
+            pool = multiprocessing.Pool(
+                processes=workers,
+                initializer=_init_sim_worker,
+                initargs=(traces, configs),
+            )
+        except (ImportError, OSError, ValueError):
+            # Platforms without working process support (missing
+            # semaphores, sandboxed environments) fall back to serial.
+            yield from self._iter_serial(traces, configs)
+            return
+
+        total = len(traces) * len(configs)
+        done = 0
+        with pool:
+            for (trace_index, start, _), results in zip(
+                tasks, pool.imap(_run_sim_batch, tasks)
+            ):
+                trace = traces[trace_index]
+                for offset, result in enumerate(results):
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total)
+                    yield self._fold(
+                        trace, configs[start + offset], result
+                    )
+
+
+# ----------------------------------------------------------------------
+# Campaign
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ValidationCase:
+    """One workload under validation: its profile and its trace.
+
+    The model side consumes the micro-architecture independent
+    ``profile``; the simulator side replays the ``trace`` the profile
+    was collected from, so both sides describe the same program.
+    """
+
+    profile: ApplicationProfile
+    trace: Trace
+
+    def __post_init__(self) -> None:
+        """Reject profile/trace pairs describing different workloads."""
+        if self.profile.name != self.trace.name:
+            raise ValueError(
+                f"profile {self.profile.name!r} does not match "
+                f"trace {self.trace.name!r}"
+            )
+
+
+def _stats_dict(stats: ErrorStats) -> Dict[str, float]:
+    """JSON-friendly summary of one :class:`ErrorStats`."""
+    return {
+        "mean": stats.mean,
+        "max": stats.maximum,
+        "count": stats.count,
+    }
+
+
+def _metrics_dict(metrics: ParetoMetrics) -> Dict[str, float]:
+    """JSON-friendly summary of one :class:`ParetoMetrics`."""
+    return {
+        "sensitivity": metrics.sensitivity,
+        "specificity": metrics.specificity,
+        "accuracy": metrics.accuracy,
+        "hvr": metrics.hvr,
+        "true_front_size": metrics.true_front_size,
+        "predicted_front_size": metrics.predicted_front_size,
+    }
+
+
+@dataclass
+class BaselineComparison:
+    """Mechanistic vs empirical model on held-out designs (§7.5).
+
+    The empirical ridge regression is trained on ``train_size``
+    seeded-random simulated samples; both models are then scored on the
+    ``holdout_size`` remaining designs -- CPI error and the §7.4 Pareto
+    metrics against the simulated frontier of the held-out subspace.
+    """
+
+    train_size: int
+    holdout_size: int
+    mechanistic_cpi_error: ErrorStats
+    empirical_cpi_error: ErrorStats
+    mechanistic_metrics: ParetoMetrics
+    empirical_metrics: ParetoMetrics
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary."""
+        return {
+            "train_size": self.train_size,
+            "holdout_size": self.holdout_size,
+            "mechanistic": {
+                "cpi_error": _stats_dict(self.mechanistic_cpi_error),
+                "pareto": _metrics_dict(self.mechanistic_metrics),
+            },
+            "empirical": {
+                "cpi_error": _stats_dict(self.empirical_cpi_error),
+                "pareto": _metrics_dict(self.empirical_metrics),
+            },
+        }
+
+
+@dataclass
+class WorkloadValidation:
+    """The full §7.4-style validation record of one workload."""
+
+    workload: str
+    n_configs: int
+    instructions: int
+    cpi_error: ErrorStats
+    seconds_error: ErrorStats
+    power_error: ErrorStats
+    #: Mean absolute CPI-stack component error, keyed by the simulator's
+    #: ``STACK_KEYS`` component names (CPI units).
+    stack_error: Dict[str, float]
+    metrics: ParetoMetrics
+    baseline: Optional[BaselineComparison] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary."""
+        data: Dict[str, object] = {
+            "workload": self.workload,
+            "n_configs": self.n_configs,
+            "instructions": self.instructions,
+            "cpi_error": _stats_dict(self.cpi_error),
+            "seconds_error": _stats_dict(self.seconds_error),
+            "power_error": _stats_dict(self.power_error),
+            "cpi_stack_error": dict(self.stack_error),
+            "pareto": _metrics_dict(self.metrics),
+        }
+        if self.baseline is not None:
+            data["baseline"] = self.baseline.as_dict()
+        return data
+
+
+@dataclass
+class ValidationReport:
+    """A whole campaign: per-workload records plus grid metadata."""
+
+    space_name: str
+    n_configs: int
+    model_workers: int
+    sim_workers: int
+    train_fraction: float
+    seed: int
+    workloads: List[WorkloadValidation] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable report (the E32 benchmark artifact shape)."""
+        return {
+            "space": self.space_name,
+            "n_configs": self.n_configs,
+            "model_workers": self.model_workers,
+            "sim_workers": self.sim_workers,
+            "train_fraction": self.train_fraction,
+            "seed": self.seed,
+            "workloads": [w.as_dict() for w in self.workloads],
+        }
+
+    def summary_lines(self) -> List[str]:
+        """The human-readable report, one line per list entry."""
+        lines = [
+            f"validation campaign: {len(self.workloads)} workload(s) x "
+            f"{self.n_configs} configs ({self.space_name})",
+        ]
+        for w in self.workloads:
+            m = w.metrics
+            lines.append(f"{w.workload}:")
+            lines.append(
+                f"  error (mean/max): CPI "
+                f"{w.cpi_error.mean:6.1%}/{w.cpi_error.maximum:6.1%}  "
+                f"time {w.seconds_error.mean:6.1%}/"
+                f"{w.seconds_error.maximum:6.1%}  "
+                f"power {w.power_error.mean:6.1%}/"
+                f"{w.power_error.maximum:6.1%}"
+            )
+            stack = "  ".join(
+                f"{key}={value:.3f}"
+                for key, value in w.stack_error.items()
+            )
+            lines.append(f"  CPI-stack |error| (CPI): {stack}")
+            lines.append(
+                f"  Pareto (S7.4): sensitivity {m.sensitivity:.2f}  "
+                f"specificity {m.specificity:.2f}  "
+                f"accuracy {m.accuracy:.2f}  HVR {m.hvr:.3f}  "
+                f"(true front {m.true_front_size}, "
+                f"predicted {m.predicted_front_size})"
+            )
+            if w.baseline is not None:
+                b = w.baseline
+                lines.append(
+                    f"  S7.5 baseline ({b.train_size} train / "
+                    f"{b.holdout_size} held out): "
+                    f"mechanistic CPI {b.mechanistic_cpi_error.mean:.1%} "
+                    f"HVR {b.mechanistic_metrics.hvr:.3f}  vs  "
+                    f"empirical CPI {b.empirical_cpi_error.mean:.1%} "
+                    f"HVR {b.empirical_metrics.hvr:.3f}"
+                )
+        return lines
+
+
+def _stack_error(
+    model_points: Sequence[DesignPoint],
+    sim_points: Sequence[SimulatedPoint],
+) -> Dict[str, float]:
+    """Mean absolute per-component CPI-stack error across designs.
+
+    Model components are renamed through :data:`STACK_COMPONENT_MAP`
+    before comparison, so the result is keyed by the simulator's
+    ``STACK_KEYS``.
+    """
+    totals = {key: 0.0 for key in STACK_KEYS}
+    for model_point, sim_point in zip(model_points, sim_points):
+        model_stack = {
+            STACK_COMPONENT_MAP.get(key, key): value
+            for key, value in model_point.result.cpi_stack().items()
+        }
+        sim_stack = sim_point.result.cpi_stack()
+        for key in totals:
+            totals[key] += abs(
+                model_stack.get(key, 0.0) - sim_stack.get(key, 0.0)
+            )
+    n = max(1, len(model_points))
+    return {key: total / n for key, total in totals.items()}
+
+
+class ValidationCampaign:
+    """Drives model and simulator over one grid and scores the model.
+
+    Parameters
+    ----------
+    cases:
+        The workloads to validate, as :class:`ValidationCase`
+        profile/trace pairs (see :meth:`from_workloads` for the
+        name-based convenience constructor).
+    configs:
+        The design-space grid, as concrete configurations or anything
+        with a ``configs()`` method (e.g. a declarative
+        :class:`~repro.explore.space.DesignSpace`).
+    engine:
+        Optional :class:`~repro.explore.engine.SweepEngine` for the
+        model side; a fresh one with ``model_workers`` workers is built
+        when omitted.
+    model:
+        Analytical model for the default engine; ignored when
+        ``engine`` is given.
+    model_workers / sim_workers:
+        Worker processes for the model and simulator sides.
+        ``sim_workers`` defaults to ``model_workers`` -- simulation is
+        the slow side, so that is where parallelism pays.
+    train_fraction:
+        Fraction of the grid used to train the §7.5 empirical baseline
+        (seeded subsample of *simulated* results); the comparison is
+        scored on the held-out remainder.  Set to 0 to skip the
+        baseline entirely.
+    seed:
+        Seed of the subsample RNG (per-workload streams are derived
+        deterministically from it).
+    space_name:
+        Override for the reported space name (useful when passing a
+        truncated config list derived from a named space).
+    progress:
+        Optional ``progress(side, done, total)`` callback, where
+        ``side`` is ``"model"`` or ``"simulator"``.
+
+    Examples
+    --------
+    >>> campaign = ValidationCampaign.from_workloads(  # doctest: +SKIP
+    ...     ["gcc", "mcf"], configs=DesignSpace.default(),
+    ...     instructions=20_000, sim_workers=4)
+    >>> report = campaign.run()                        # doctest: +SKIP
+    >>> print("\\n".join(report.summary_lines()))      # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        cases: Sequence[ValidationCase],
+        configs,
+        engine: Optional[SweepEngine] = None,
+        model: Optional[AnalyticalModel] = None,
+        model_workers: int = 1,
+        sim_workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        train_fraction: float = 0.25,
+        seed: int = 0,
+        space_name: Optional[str] = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+    ) -> None:
+        self.cases = list(cases)
+        names = [case.profile.name for case in self.cases]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(
+                "duplicate workload name(s) in campaign: "
+                + ", ".join(duplicates)
+            )
+        if hasattr(configs, "configs"):
+            self.space_name = getattr(configs, "name", "space")
+            configs = configs.configs()
+        else:
+            self.space_name = "configs"
+        if space_name is not None:
+            self.space_name = space_name
+        self.configs: List[MachineConfig] = list(configs)
+        if not self.configs:
+            raise ValueError("validation campaign needs >= 1 config")
+        if not 0.0 <= train_fraction < 1.0:
+            raise ValueError("train_fraction must be in [0, 1)")
+        self.train_fraction = train_fraction
+        self.seed = seed
+        self.model_workers = model_workers
+        self.sim_workers = (
+            sim_workers if sim_workers is not None else model_workers
+        )
+        self.progress = progress
+        model_progress = None
+        sim_progress = None
+        if progress is not None:
+            model_progress = lambda d, t: progress("model", d, t)
+            sim_progress = lambda d, t: progress("simulator", d, t)
+        self.engine = engine if engine is not None else SweepEngine(
+            model=model, workers=model_workers,
+            batch_size=batch_size, progress=model_progress,
+        )
+        self.simulation = SimulationSweep(
+            workers=self.sim_workers, batch_size=batch_size,
+            progress=sim_progress,
+        )
+
+    @classmethod
+    def from_workloads(
+        cls,
+        names: Sequence[str],
+        configs,
+        instructions: int = 20_000,
+        sampling=None,
+        trace_seed: int = 42,
+        **kwargs,
+    ) -> "ValidationCampaign":
+        """Build a campaign from workload-suite names.
+
+        Generates each workload's trace, profiles it once (the paper's
+        single profiling run), and pairs both into
+        :class:`ValidationCase` records.
+
+        Parameters
+        ----------
+        names:
+            Workload names from :func:`repro.workloads.workload_names`.
+        configs:
+            Passed through to the constructor.
+        instructions:
+            Trace length per workload.
+        sampling:
+            Optional :class:`~repro.profiler.sampling.SamplingConfig`.
+        trace_seed:
+            Seed of the trace generators.
+        **kwargs:
+            Forwarded to the constructor.
+
+        Returns
+        -------
+        ValidationCampaign
+            The ready-to-run campaign.
+        """
+        from repro.profiler import profile_application
+        from repro.workloads import generate_trace, make_workload
+
+        cases = []
+        for name in names:
+            trace = generate_trace(
+                make_workload(name, seed=trace_seed),
+                max_instructions=instructions,
+            )
+            profile = profile_application(trace, sampling)
+            cases.append(ValidationCase(profile=profile, trace=trace))
+        return cls(cases, configs, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _baseline(
+        self,
+        case: ValidationCase,
+        model_points: Sequence[DesignPoint],
+        sim_points: Sequence[SimulatedPoint],
+    ) -> Optional[BaselineComparison]:
+        """Train the §7.5 empirical baseline and score both models."""
+        n = len(self.configs)
+        train_size = int(round(self.train_fraction * n))
+        if self.train_fraction <= 0.0 or train_size < 3:
+            return None
+        if n - train_size < 2:
+            return None
+        # String seeds hash deterministically (PYTHONHASHSEED-proof),
+        # so per-workload subsamples are stable across runs and worker
+        # counts.
+        rng = random.Random(f"{self.seed}:{case.profile.name}")
+        train_indices = set(rng.sample(range(n), train_size))
+        holdout = [i for i in range(n) if i not in train_indices]
+
+        cpi_model = EmpiricalModel().fit([
+            (case.profile, self.configs[i], sim_points[i].cpi)
+            for i in sorted(train_indices)
+        ])
+        power_model = EmpiricalModel().fit([
+            (case.profile, self.configs[i], sim_points[i].power_watts)
+            for i in sorted(train_indices)
+        ])
+
+        instructions = case.profile.num_instructions
+        empirical_cpi = [
+            cpi_model.predict(case.profile, self.configs[i])
+            for i in holdout
+        ]
+        empirical_seconds = [
+            cpi * instructions
+            / (self.configs[i].frequency_ghz * 1e9)
+            for cpi, i in zip(empirical_cpi, holdout)
+        ]
+        empirical_power = [
+            power_model.predict(case.profile, self.configs[i])
+            for i in holdout
+        ]
+
+        sim_cpi = [sim_points[i].cpi for i in holdout]
+        labels = [self.configs[i].name for i in holdout]
+        sim_coords = [
+            (sim_points[i].seconds, sim_points[i].power_watts)
+            for i in holdout
+        ]
+        model_coords = [
+            (model_points[i].seconds, model_points[i].power_watts)
+            for i in holdout
+        ]
+        empirical_coords = list(
+            zip(empirical_seconds, empirical_power)
+        )
+        return BaselineComparison(
+            train_size=train_size,
+            holdout_size=len(holdout),
+            mechanistic_cpi_error=error_statistics(
+                [model_points[i].cpi for i in holdout], sim_cpi,
+                labels=labels,
+            ),
+            empirical_cpi_error=error_statistics(
+                empirical_cpi, sim_cpi, labels=labels,
+            ),
+            mechanistic_metrics=pareto_metrics(
+                sim_coords, model_coords
+            ),
+            empirical_metrics=pareto_metrics(
+                sim_coords, empirical_coords
+            ),
+        )
+
+    def _validate_workload(
+        self,
+        case: ValidationCase,
+        model_points: Sequence[DesignPoint],
+        sim_points: Sequence[SimulatedPoint],
+    ) -> WorkloadValidation:
+        """Fold one workload's model and simulator streams."""
+        labels = [config.name for config in self.configs]
+        cpi_error = error_statistics(
+            [p.cpi for p in model_points],
+            [p.cpi for p in sim_points], labels=labels,
+        )
+        seconds_error = error_statistics(
+            [p.seconds for p in model_points],
+            [p.seconds for p in sim_points], labels=labels,
+        )
+        power_error = error_statistics(
+            [p.power_watts for p in model_points],
+            [p.power_watts for p in sim_points], labels=labels,
+        )
+        metrics = pareto_metrics(
+            [(p.seconds, p.power_watts) for p in sim_points],
+            [(p.seconds, p.power_watts) for p in model_points],
+        )
+        return WorkloadValidation(
+            workload=case.profile.name,
+            n_configs=len(self.configs),
+            instructions=case.profile.num_instructions,
+            cpi_error=cpi_error,
+            seconds_error=seconds_error,
+            power_error=power_error,
+            stack_error=_stack_error(model_points, sim_points),
+            metrics=metrics,
+            baseline=self._baseline(case, model_points, sim_points),
+        )
+
+    def run(self) -> ValidationReport:
+        """Execute the campaign: both sweeps, then the folded report.
+
+        The model side streams through the engine first (it is orders
+        of magnitude faster), then the simulator side streams through
+        its own pool; per-workload records are folded as soon as both
+        sides of a workload are complete.
+
+        Returns
+        -------
+        ValidationReport
+            Per-workload errors, stack errors, Pareto metrics and the
+            empirical-baseline comparison.
+        """
+        profiles = [case.profile for case in self.cases]
+        traces = [case.trace for case in self.cases]
+        n = len(self.configs)
+
+        model_results: Dict[str, List[DesignPoint]] = {
+            p.name: [] for p in profiles
+        }
+        for point in self.engine.iter_sweep(profiles, self.configs):
+            model_results[point.workload].append(point)
+
+        report = ValidationReport(
+            space_name=self.space_name,
+            n_configs=n,
+            model_workers=self.model_workers,
+            sim_workers=self.sim_workers,
+            train_fraction=self.train_fraction,
+            seed=self.seed,
+        )
+        # The simulator stream is trace-major, so one workload's block
+        # completes every n points; fold it immediately.
+        pending: List[SimulatedPoint] = []
+        case_index = 0
+        for point in self.simulation.iter_sweep(traces, self.configs):
+            pending.append(point)
+            if len(pending) == n:
+                case = self.cases[case_index]
+                report.workloads.append(self._validate_workload(
+                    case, model_results[case.profile.name], pending
+                ))
+                pending = []
+                case_index += 1
+        if pending:
+            raise RuntimeError(
+                f"simulation stream ended mid-workload: "
+                f"{len(pending)} of {n} points"
+            )
+        return report

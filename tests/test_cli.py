@@ -92,6 +92,32 @@ class TestSweepCommand:
             main(["sweep", str(tmp_path / "x.profile"),
                   "--objective", "ipc"])
 
+    def test_sweep_duplicate_profile_names_rejected(self, tmp_path,
+                                                    capsys):
+        # Regression: two profiles of the same workload used to merge
+        # silently into one results bucket.
+        first = str(tmp_path / "gcc-a.profile")
+        second = str(tmp_path / "gcc-b.profile")
+        main(["profile", "gcc", "-o", first, "--instructions", "5000"])
+        main(["profile", "gcc", "-o", second, "--instructions", "3000"])
+        assert main(["sweep", first, second, "--limit", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "duplicate profile name" in err and "gcc" in err
+
+    def test_sweep_limit_zero_evaluates_nothing(self, tmp_path,
+                                                capsys):
+        # Regression: --limit 0 used to be treated as "no limit".
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        assert main(["sweep", path, "--limit", "0"]) == 0
+        assert "0 designs evaluated" in capsys.readouterr().out
+
+    def test_sweep_negative_limit_rejected(self, tmp_path, capsys):
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        assert main(["sweep", path, "--limit", "-3"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
 
 class TestSearchCommand:
     @pytest.fixture
@@ -154,6 +180,83 @@ class TestSearchCommand:
         assert main(["search", profile_path, "--optimizer", "ga",
                      "--batch-size", "4"]) == 2
         assert "--population" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_validate_end_to_end(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "report.json")
+        assert main(["validate", "gcc", "mcf", "--limit", "4",
+                     "--instructions", "3000",
+                     "--train-fraction", "0", "--json", out]) == 0
+        text = capsys.readouterr().out
+        assert "2 workload(s) x 4 configs" in text
+        assert "sensitivity" in text and "HVR" in text
+        data = json.load(open(out))
+        assert [w["workload"] for w in data["workloads"]] == \
+            ["gcc", "mcf"]
+        assert data["space"] == "table-6.3"
+
+    def test_validate_duplicate_workloads_rejected(self, capsys):
+        assert main(["validate", "gcc", "gcc", "--limit", "2"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_validate_empty_grid_rejected(self, capsys):
+        assert main(["validate", "gcc", "--limit", "0"]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_validate_negative_limit_rejected(self, capsys):
+        assert main(["validate", "gcc", "--limit", "-1"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_validate_bad_train_fraction_rejected(self, capsys):
+        assert main(["validate", "gcc", "--limit", "2",
+                     "--train-fraction", "1.0"]) == 2
+        assert "--train-fraction" in capsys.readouterr().err
+
+
+class TestDVFSCommand:
+    @pytest.fixture
+    def profile_path(self, tmp_path):
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "5000"])
+        return path
+
+    def test_dvfs_default_grid(self, profile_path, capsys):
+        assert main(["dvfs", profile_path]) == 0
+        out = capsys.readouterr().out
+        assert "ED2P optimum" in out
+        assert out.count("GHz") >= 5  # the Table 7.2 grid
+
+    def test_dvfs_custom_frequencies(self, profile_path, capsys):
+        assert main(["dvfs", profile_path,
+                     "--frequencies", "1.2,2.66"]) == 0
+        out = capsys.readouterr().out
+        assert "1.20 GHz" in out and "2.66 GHz" in out
+        assert out.count("ED2P") >= 2
+
+    def test_dvfs_power_cap(self, profile_path, capsys):
+        assert main(["dvfs", profile_path, "--power-cap", "1000"]) == 0
+        assert "fastest under 1000.0 W" in capsys.readouterr().out
+
+    def test_dvfs_malformed_frequencies_rejected(self, profile_path,
+                                                 capsys):
+        assert main(["dvfs", profile_path,
+                     "--frequencies", "1.2,"]) == 2
+        assert "--frequencies" in capsys.readouterr().err
+
+    def test_dvfs_power_cap_infeasible(self, profile_path, capsys):
+        assert main(["dvfs", profile_path, "--power-cap", "0.001"]) == 0
+        assert "no operating point fits" in capsys.readouterr().out
+
+    def test_dvfs_engine_path_matches_local(self, profile_path,
+                                            capsys):
+        assert main(["dvfs", profile_path]) == 0
+        local = capsys.readouterr().out
+        assert main(["dvfs", profile_path, "--workers", "2"]) == 0
+        engine = capsys.readouterr().out
+        assert local == engine
 
 
 class TestParser:

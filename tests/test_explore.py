@@ -86,6 +86,31 @@ class TestDVFS:
         with pytest.raises(ValueError):
             optimal_ed2p([])
 
+    def test_engine_path_matches_local_loop(self, gamess_profile):
+        from repro.explore.engine import SweepEngine
+
+        local = explore_dvfs(gamess_profile, nehalem())
+        engine = explore_dvfs(gamess_profile, nehalem(),
+                              engine=SweepEngine(workers=1))
+        assert [r.point for r in local] == [r.point for r in engine]
+        assert [r.seconds for r in local] == [r.seconds for r in engine]
+        assert [r.power_watts for r in local] == \
+            [r.power_watts for r in engine]
+
+    def test_short_engine_stream_rejected(self, gamess_profile):
+        from repro.explore.engine import SweepEngine
+
+        # Regression: a stream shorter than the operating-point grid
+        # used to be zip-truncated into silently mispaired results.
+        class ShortEngine:
+            def iter_sweep(self, profiles, configs):
+                real = SweepEngine(workers=1)
+                yield from list(real.iter_sweep(profiles, configs))[:-1]
+
+        with pytest.raises(ValueError, match="operating points"):
+            explore_dvfs(gamess_profile, nehalem(),
+                         engine=ShortEngine())
+
     def test_power_cap_respected(self, gcc_profile):
         model = AnalyticalModel()
         space = design_space({"dispatch_width": (2, 4, 6)})

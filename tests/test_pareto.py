@@ -4,11 +4,23 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.explore.pareto import (
+    StreamingParetoFront,
+    _pareto_front_quadratic,
     hypervolume,
     hvr,
     pareto_front,
     pareto_metrics,
 )
+
+# Coordinates drawn from a small pool so random clouds contain ties and
+# exact duplicates, the cases where a sort-based sweep can diverge from
+# the all-pairs reference.
+coordinate = st.one_of(
+    st.sampled_from([1.0, 2.0, 3.0, 5.0]),
+    st.floats(0.1, 100, allow_nan=False),
+)
+point_clouds = st.lists(st.tuples(coordinate, coordinate),
+                        min_size=0, max_size=80)
 
 
 class TestParetoFront:
@@ -52,6 +64,49 @@ class TestParetoFront:
                 assert not strictly_dominates
 
 
+class TestParetoFrontEquivalence:
+    """The O(n log n) sweep must match the quadratic reference exactly."""
+
+    @given(point_clouds)
+    @settings(max_examples=200, deadline=None)
+    def test_index_set_matches_quadratic_reference(self, points):
+        assert pareto_front(points) == _pareto_front_quadratic(points)
+
+    def test_duplicate_coordinates_all_kept(self):
+        points = [(2.0, 2.0), (1.0, 3.0), (2.0, 2.0), (3.0, 1.0),
+                  (2.0, 2.0)]
+        assert pareto_front(points) == [0, 1, 2, 3, 4]
+
+    def test_equal_x_tie_resolved_within_group(self):
+        # (1, 5) dominates (1, 7); (2, 5) is dominated by (1, 5).
+        points = [(1.0, 7.0), (1.0, 5.0), (2.0, 5.0)]
+        assert pareto_front(points) == [1]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @given(point_clouds)
+    @settings(max_examples=100, deadline=None)
+    def test_streaming_front_matches_batch(self, points):
+        front = StreamingParetoFront()
+        for index, (x, y) in enumerate(points):
+            front.add(x, y, index)
+        streaming = sorted(payload for _, _, payload in front.frontier())
+        assert streaming == pareto_front(points)
+
+    @given(point_clouds, st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_streaming_front_insertion_order_invariant(self, points,
+                                                       rng):
+        shuffled = list(enumerate(points))
+        rng.shuffle(shuffled)
+        front = StreamingParetoFront()
+        for index, (x, y) in shuffled:
+            front.add(x, y, index)
+        streaming = sorted(payload for _, _, payload in front.frontier())
+        assert streaming == pareto_front(points)
+
+
 class TestHypervolume:
     def test_single_point(self):
         assert hypervolume([(1, 1)], (2, 2)) == pytest.approx(1.0)
@@ -88,6 +143,35 @@ class TestHVR:
     def test_empty_selection_zero(self):
         true_front = [(1, 2), (2, 1)]
         assert hvr(true_front, []) == 0.0
+
+    def test_reference_spans_selected_points(self):
+        # Regression: a selection dominated-but-beyond 1.1x the true
+        # front's maxima used to be clipped to zero contribution.
+        true_front = [(1.0, 10.0), (10.0, 1.0)]
+        far_selected = [(50.0, 50.0)]
+        assert hvr(true_front, far_selected) > 0.0
+
+    def test_degenerate_front_not_rewarded(self):
+        # Regression: a zero-extent true front made the denominator 0
+        # and returned a perfect 1.0 for *any* selection -- including
+        # the empty one and dominated far-away picks.
+        degenerate = [(0.0, 5.0)]
+        assert hvr(degenerate, []) == 0.0
+        # A dominated far-away pick widens the union reference, so the
+        # ratio is defined again -- and terrible, not perfect.
+        assert hvr(degenerate, [(3.0, 7.0)]) < 0.1
+        assert hvr(degenerate, [(0.0, 5.0)]) == 1.0
+
+    def test_explicit_reference_still_honored(self):
+        true_front = [(1.0, 1.0)]
+        assert hvr(true_front, true_front,
+                   reference=(2.0, 2.0)) == pytest.approx(1.0)
+
+    @given(point_clouds.filter(len))
+    @settings(max_examples=100, deadline=None)
+    def test_full_selection_always_one(self, points):
+        front = [points[i] for i in pareto_front(points)]
+        assert hvr(front, front) == pytest.approx(1.0)
 
 
 class TestParetoMetrics:
