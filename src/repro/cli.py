@@ -15,6 +15,8 @@ Examples::
 
     python -m repro.cli workloads
     python -m repro.cli profile gcc --instructions 50000 -o gcc.profile
+    python -m repro.cli profile gcc mcf lbm --store .profile-cache \\
+        --json profiles.json
     python -m repro.cli predict gcc.profile
     python -m repro.cli predict gcc.profile --width 2 --rob 64 --llc-mb 2
     python -m repro.cli simulate gcc --instructions 50000
@@ -35,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import replace
 from typing import List, Optional
 
@@ -108,21 +111,73 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    trace = generate_trace(
-        make_workload(args.workload, seed=args.seed),
-        max_instructions=args.instructions,
-    )
+    duplicates = _duplicate_names(args.workloads)
+    if duplicates:
+        print("error: duplicate workload name(s): "
+              + ", ".join(duplicates)
+              + " (profiles are keyed by workload name; duplicates "
+              "would silently collide)", file=sys.stderr)
+        return 2
+    if args.output is None and args.store is None:
+        print("error: need -o/--output and/or --store", file=sys.stderr)
+        return 2
+    if args.output is not None and len(args.workloads) > 1:
+        print("error: -o/--output profiles exactly one workload; use "
+              "--store for batches", file=sys.stderr)
+        return 2
+    store = ProfileStore(args.store) if args.store else None
     sampling = SamplingConfig(
         args.micro_trace,
         args.window,
         reuse_sample_rate=args.reuse_sample_rate,
         reuse_seed=args.reuse_seed,
     )
-    profile = profile_application(trace, sampling)
-    save_profile(profile, args.output)
-    print(f"profiled {profile.num_instructions} instructions of "
-          f"{profile.name} ({len(profile.micro_traces)} micro-traces) "
-          f"-> {args.output}")
+    entries = []
+    for name in args.workloads:
+        started = time.perf_counter()
+        trace = generate_trace(
+            make_workload(name, seed=args.seed),
+            max_instructions=args.instructions,
+        )
+        profile = profile_application(trace, sampling)
+        key = None
+        if store is not None:
+            # put() + warm(): the profile and its StatStack tables land
+            # on disk, so later sweep/search/validate runs start warm.
+            key = store.warm(profile)
+        if args.output:
+            save_profile(profile, args.output)
+        seconds = time.perf_counter() - started
+        destinations = [d for d in (
+            args.output,
+            f"store:{key[:12]}" if key else None,
+        ) if d]
+        print(f"profiled {profile.num_instructions} instructions of "
+              f"{profile.name} ({len(profile.micro_traces)} "
+              f"micro-traces) -> {', '.join(destinations)}")
+        entries.append({
+            "workload": name,
+            "instructions": profile.num_instructions,
+            "micro_traces": len(profile.micro_traces),
+            "fingerprint": key,
+            "output": args.output,
+            "seconds": round(seconds, 6),
+        })
+    if args.json:
+        report = {
+            "store": args.store,
+            "sampling": {
+                "micro_trace_length": sampling.micro_trace_length,
+                "window_length": sampling.window_length,
+                "reuse_sample_rate": sampling.reuse_sample_rate,
+                "reuse_seed": sampling.reuse_seed,
+            },
+            "trace_seed": args.seed,
+            "profiles": entries,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report -> {args.json}")
     return 0
 
 
@@ -391,20 +446,33 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="list the synthetic workload suite")
     sub.set_defaults(func=cmd_workloads)
 
-    sub = subparsers.add_parser("profile",
-                                help="profile a workload to a file")
-    sub.add_argument("workload", help="workload name (see 'workloads')")
-    sub.add_argument("-o", "--output", required=True,
-                     help="output profile path (JSON)")
+    sub = subparsers.add_parser(
+        "profile",
+        help="profile workload(s) to a file and/or a profile store")
+    sub.add_argument("workloads", nargs="+", metavar="workload",
+                     help="workload name(s) (see 'workloads')")
+    sub.add_argument("-o", "--output", default=None,
+                     help="output profile path (JSON; exactly one "
+                          "workload)")
+    sub.add_argument("--store", default=None, metavar="DIR",
+                     help="pre-profile into this content-addressed "
+                          "ProfileStore (with warmed StatStack tables) "
+                          "so sweep/search/validate --cache runs start "
+                          "warm")
     sub.add_argument("--instructions", type=int, default=50_000)
     sub.add_argument("--micro-trace", type=int, default=1000)
     sub.add_argument("--window", type=int, default=5000)
-    sub.add_argument("--seed", type=int, default=42)
-    sub.add_argument("--reuse-sample-rate", type=float, default=1.0,
+    sub.add_argument("--seed", type=int, default=42,
+                     help="seed of the trace generator")
+    sub.add_argument("--reuse-sample-rate", "--sample-rate",
+                     dest="reuse_sample_rate", type=float, default=1.0,
                      help="fraction of accesses recorded by the reuse "
                           "pass (StatStack burst sampling)")
     sub.add_argument("--reuse-seed", type=int, default=0,
                      help="seed of the reuse-sampling RNG")
+    sub.add_argument("--json", default=None, metavar="OUT.json",
+                     help="write a machine-readable profiling summary "
+                          "(fingerprints, timings)")
     sub.set_defaults(func=cmd_profile)
 
     sub = subparsers.add_parser("predict",

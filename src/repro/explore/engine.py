@@ -20,6 +20,14 @@ layer on top of :class:`~repro.core.model.AnalyticalModel`:
   :class:`~repro.explore.dse.DesignPoint` results incrementally in
   deterministic grid order, so Pareto / DVFS consumers can run on
   partial results while the sweep is still in flight.
+* **Columnar worker payloads**: everything shipped to worker processes
+  is array- or statistics-shaped, never per-instruction object lists.
+  Profiles are pure aggregated statistics, and
+  :class:`~repro.workloads.trace.Trace` pickles as its columnar
+  (structure-of-arrays) view -- see
+  :class:`~repro.workloads.columns.TraceColumns` -- so the simulation
+  sweeps that mirror this engine (``explore.validate``) serialize
+  traces two orders of magnitude faster than object lists.
 
 Results are bitwise identical between the serial and parallel paths and
 with the pre-engine serial loop: the caches memoize pure computations on

@@ -154,6 +154,12 @@ class SimulationSweep:
     trace-major order, and platforms without working process support
     fall back to an in-process serial loop with identical results.
 
+    Traces reach the pool in columnar form: ``Trace`` pickles as its
+    :class:`~repro.workloads.columns.TraceColumns` arrays (never a
+    per-``Instruction`` object list), which serializes orders of
+    magnitude faster; each worker materializes the object view lazily,
+    once, on first iteration.
+
     Parameters
     ----------
     workers:

@@ -61,13 +61,28 @@ def linear_entropy(p: float) -> float:
 def profile_branch_entropy(
     trace: Iterable[Instruction],
     history_lengths: Sequence[int] = (4, 8, 12),
+    columns=None,
 ) -> BranchEntropyProfile:
     """Profile linear branch entropy at several global-history lengths.
 
     One pass over the trace keeps, per history length, a table
     ``(pc, history) -> [taken, not_taken]`` and finally averages
     ``E(p(b, H))`` weighted by execution counts (Eq 3.15).
+
+    With ``columns`` (a columnar view of the same trace) the pass is
+    vectorized: global-history patterns come from shifted views of the
+    branch-outcome array and the per-``(pc, history)`` taken counts from
+    one ``np.unique`` grouping.  The weighted average is accumulated in
+    the scalar table's insertion (first-encounter) order, so the
+    entropies are bitwise identical to the scalar pass.
     """
+    if columns is not None:
+        branch_mask = columns.is_branch
+        return _profile_branch_entropy_arrays(
+            columns.pc[branch_mask],
+            columns.taken[branch_mask].astype(np.int64),
+            history_lengths,
+        )
     tables: Dict[int, Dict[Tuple[int, int], List[int]]] = {
         h: {} for h in history_lengths
     }
@@ -98,6 +113,54 @@ def profile_branch_entropy(
         ):
             n = taken_count + not_taken_count
             p = taken_count / n
+            weighted += n * linear_entropy(p)
+            total += n
+        profile.entropy[h] = weighted / total if total else 0.0
+    return profile
+
+
+def _profile_branch_entropy_arrays(
+    pcs: np.ndarray,
+    taken: np.ndarray,
+    history_lengths: Sequence[int],
+) -> BranchEntropyProfile:
+    """Columnar branch-entropy pass over the branch subsequence.
+
+    ``pcs``/``taken`` hold the PC and outcome (0/1, ``int64``) of every
+    conditional branch in stream order.  The ``h``-bit global history
+    before branch ``i`` is ``outcome[i-k] << (k-1)`` summed over
+    ``k = 1..h`` -- a handful of shifted-slice ORs -- and grouping the
+    combined ``(pc, history)`` key with ``np.unique`` replaces the
+    per-branch dictionary updates.
+    """
+    num_branches = int(pcs.shape[0])
+    profile = BranchEntropyProfile(num_branches=num_branches)
+    for h in history_lengths:
+        if num_branches == 0:
+            profile.entropy[h] = 0.0
+            continue
+        history = np.zeros(num_branches, dtype=np.int64)
+        for k in range(1, h + 1):
+            if k >= num_branches:
+                break
+            history[k:] |= taken[:-k] << (k - 1)
+        key = (pcs.astype(np.int64) << np.int64(h)) | history
+        unique, first_index, inverse = np.unique(
+            key, return_index=True, return_inverse=True
+        )
+        group_total = np.bincount(
+            inverse, minlength=unique.shape[0]
+        ).tolist()
+        group_taken = np.bincount(
+            inverse[taken.astype(bool)], minlength=unique.shape[0]
+        ).tolist()
+        weighted = 0.0
+        total = 0
+        # Scalar-table insertion order == first encounter of each key;
+        # summing in that order keeps the float result bitwise equal.
+        for group in np.argsort(first_index, kind="stable").tolist():
+            n = group_total[group]
+            p = group_taken[group] / n
             weighted += n * linear_entropy(p)
             total += n
         profile.entropy[h] = weighted / total if total else 0.0

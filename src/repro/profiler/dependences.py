@@ -28,7 +28,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.isa import Instruction
+from repro.workloads.columns import TraceColumns
 
 #: Default grid of profiled window sizes (thesis: 16..256 step 16).
 DEFAULT_ROB_GRID: Tuple[int, ...] = tuple(range(16, 257, 16))
@@ -49,6 +52,92 @@ def _window_depths(window: Sequence[Instruction]) -> List[int]:
         if instr.dst >= 0:
             last_writer[instr.dst] = position
     return depths
+
+
+def _window_depths_arrays(
+    src1: List[int],
+    src2: List[int],
+    dst: List[int],
+    start: int,
+    stop: int,
+    num_regs: int,
+) -> List[int]:
+    """:func:`_window_depths` reading plain int arrays (same recurrence).
+
+    The register-dataflow recurrence is inherently sequential, but
+    reading pre-extracted columns instead of ``Instruction`` attributes
+    removes the per-field property dispatch from the inner loop, and
+    the per-register state stores the last writer's *chain length*
+    directly (``0`` = no in-window producer; lengths are always >= 1)
+    in a flat list, replacing a dictionary lookup plus list indexing.
+    The computed lengths are identical.
+    """
+    depths: List[int] = []
+    append = depths.append
+    writer_length = [0] * num_regs
+    for s1, s2, reg in zip(src1[start:stop], src2[start:stop],
+                           dst[start:stop]):
+        depth = 0
+        if s1 >= 0:
+            produced = writer_length[s1]
+            if produced > depth:
+                depth = produced
+        if s2 >= 0:
+            produced = writer_length[s2]
+            if produced > depth:
+                depth = produced
+        depth += 1
+        append(depth)
+        if reg >= 0:
+            writer_length[reg] = depth
+    return depths
+
+
+def _chain_lengths_stepped_arrays(
+    src1: List[int],
+    src2: List[int],
+    dst: List[int],
+    branch_positions: List[int],
+    n: int,
+    window_size: int,
+    num_regs: int,
+) -> "ChainStats":
+    """Columnar :func:`chain_lengths_stepped` (bitwise-identical stats)."""
+    if n == 0:
+        return ChainStats(0.0, 0.0, 0.0)
+    ap_sum = 0.0
+    abp_sum = 0.0
+    cp_sum = 0.0
+    windows = 0
+    branch_windows = 0
+    num_branches = len(branch_positions)
+    cursor = 0  # next unconsumed branch position (windows are ascending)
+    for start in range(0, n, window_size):
+        stop = min(start + window_size, n)
+        length = stop - start
+        if length < max(2, window_size // 4) and windows > 0:
+            break  # skip a tiny ragged tail; it skews the averages
+        depths = _window_depths_arrays(
+            src1, src2, dst, start, stop, num_regs
+        )
+        ap_sum += sum(depths) / length
+        branch_sum = 0
+        branch_count = 0
+        while (cursor < num_branches
+               and branch_positions[cursor] < stop):
+            branch_sum += depths[branch_positions[cursor] - start]
+            branch_count += 1
+            cursor += 1
+        if branch_count:
+            abp_sum += branch_sum / branch_count
+            branch_windows += 1
+        cp_sum += max(depths)
+        windows += 1
+    return ChainStats(
+        ap=ap_sum / windows,
+        abp=abp_sum / branch_windows if branch_windows else 0.0,
+        cp=cp_sum / windows,
+    )
 
 
 @dataclass
@@ -195,10 +284,37 @@ def profile_dependence_chains(
     instructions: Sequence[Instruction],
     grid: Sequence[int] = DEFAULT_ROB_GRID,
     exact: bool = False,
+    columns: Optional[TraceColumns] = None,
 ) -> DependenceChains:
-    """Profile AP/ABP/CP over a window-size grid."""
-    measure = chain_lengths_exact if exact else chain_lengths_stepped
+    """Profile AP/ABP/CP over a window-size grid.
+
+    With ``columns`` (a pre-built columnar view of ``instructions``) the
+    stepped measurement extracts the register columns once and shares
+    them across all grid sizes, avoiding per-instruction attribute
+    dispatch; the statistics are bitwise identical either way.
+    """
     chains = DependenceChains(grid=tuple(grid))
+    if columns is not None and not exact:
+        src1 = columns.src1.tolist()
+        src2 = columns.src2.tolist()
+        dst = columns.dst.tolist()
+        branch_positions = np.nonzero(columns.is_branch)[0].tolist()
+        n = len(columns)
+        num_regs = 1
+        if n:
+            num_regs = 1 + max(
+                int(columns.src1.max()), int(columns.src2.max()),
+                int(columns.dst.max()), 0,
+            )
+        for size in grid:
+            stats = _chain_lengths_stepped_arrays(
+                src1, src2, dst, branch_positions, n, size, num_regs
+            )
+            chains.ap.values[size] = stats.ap
+            chains.abp.values[size] = stats.abp
+            chains.cp.values[size] = stats.cp
+        return chains
+    measure = chain_lengths_exact if exact else chain_lengths_stepped
     for size in grid:
         stats = measure(instructions, size)
         chains.ap.values[size] = stats.ap

@@ -22,7 +22,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.isa import Instruction
+from repro.workloads.columns import TraceColumns, previous_occurrence
 
 DEFAULT_LINE_SIZES: Tuple[int, ...] = (32, 64, 128)
 DEFAULT_COLD_ROB_GRID: Tuple[int, ...] = (32, 64, 128, 192, 256)
@@ -46,26 +49,92 @@ class ColdMissProfile:
     total: Dict[int, int] = field(default_factory=dict)
     num_instructions: int = 0
 
+    @staticmethod
+    def _nearest_key(
+        keys: List[Tuple[int, int]], rob: int, line_size: int
+    ) -> Tuple[int, int]:
+        """The profiled ``(line_size, rob)`` key nearest the query."""
+        return min(
+            keys,
+            key=lambda k: (abs(k[0] - line_size), abs(k[1] - rob)),
+        )
+
     def cold_misses_per_occupied_window(
         self, rob: int, line_size: int = 64
     ) -> float:
         """m_cold_LLC(ROB): thesis §4.4, nearest profiled sizes."""
         if not self.per_window:
             return 0.0
-        keys = list(self.per_window)
-        best = min(
-            keys,
-            key=lambda k: (abs(k[0] - line_size), abs(k[1] - rob)),
-        )
+        best = self._nearest_key(list(self.per_window), rob, line_size)
         return self.per_window[best]
+
+    def occupied_window_fraction(
+        self, rob: int, line_size: int = 64
+    ) -> float:
+        """Fraction of ROB-sized windows containing a cold miss.
+
+        The companion lookup to
+        :meth:`cold_misses_per_occupied_window`: same nearest-profiled
+        ``(line_size, rob)`` key rule, applied to ``window_fraction``.
+        """
+        if not self.window_fraction:
+            return 0.0
+        best = self._nearest_key(
+            list(self.window_fraction), rob, line_size
+        )
+        return self.window_fraction[best]
 
 
 def profile_cold_misses(
     instructions: Sequence[Instruction],
     rob_grid: Sequence[int] = DEFAULT_COLD_ROB_GRID,
     line_sizes: Sequence[int] = DEFAULT_LINE_SIZES,
+    columns: Optional[TraceColumns] = None,
 ) -> ColdMissProfile:
-    """Profile first-touch (cold) misses over the full stream."""
+    """Profile first-touch (cold) misses over the full stream.
+
+    Vectorized: per line size, one ``np.unique(..., return_index=True)``
+    over the memory-access line ids yields the first-touch indices in a
+    single pass (the scalar reference,
+    :func:`_profile_cold_misses_scalar`, walks the stream once per line
+    size with a ``seen`` set).  Outputs are bitwise identical.
+
+    ``columns`` supplies a pre-built columnar view; when omitted it is
+    built from (or found cached on) ``instructions``.
+    """
+    if columns is None:
+        columns = TraceColumns.ensure(instructions)
+    n = len(columns)
+    profile = ColdMissProfile(num_instructions=n)
+    mem_positions = np.nonzero(columns.is_mem)[0]
+    mem_addr = columns.addr[mem_positions]
+    for line_size in line_sizes:
+        _, first = np.unique(mem_addr // line_size, return_index=True)
+        cold_indices = np.sort(mem_positions[first])
+        total = int(cold_indices.shape[0])
+        profile.total[line_size] = total
+        for rob in rob_grid:
+            windows = max(1, (n + rob - 1) // rob)
+            occupied = int(np.unique(cold_indices // rob).shape[0])
+            if occupied:
+                average = total / occupied
+            else:
+                average = 0.0
+            profile.per_window[(line_size, rob)] = average
+            profile.window_fraction[(line_size, rob)] = occupied / windows
+    return profile
+
+
+def _profile_cold_misses_scalar(
+    instructions: Sequence[Instruction],
+    rob_grid: Sequence[int] = DEFAULT_COLD_ROB_GRID,
+    line_sizes: Sequence[int] = DEFAULT_LINE_SIZES,
+) -> ColdMissProfile:
+    """Scalar reference for :func:`profile_cold_misses` (kept verbatim).
+
+    One full Python pass per line size with a ``seen`` set; the ground
+    truth the vectorized pass is property-tested against (bitwise).
+    """
     profile = ColdMissProfile(num_instructions=len(instructions))
     for line_size in line_sizes:
         seen: set = set()
@@ -201,8 +270,118 @@ class MicroTraceMemoryProfile:
 def profile_micro_trace_memory(
     micro_trace: Sequence[Instruction],
     line_size: int = 64,
+    columns: Optional[TraceColumns] = None,
 ) -> MicroTraceMemoryProfile:
     """Collect the stride-MLP distributions for one micro-trace.
+
+    The vectorizable statistics come from columnar sweeps: load/store
+    positions from mask ``nonzero``, per-PC stride diffs and occurrence
+    lists from one stable argsort grouping loads by PC, and local reuse
+    distances from the
+    :func:`~repro.workloads.columns.previous_occurrence` predecessor
+    sweep over the interleaved load/store line stream.  Only the
+    register-dataflow depth recurrence (f(l), thesis Fig 4.5) is
+    inherently sequential; it stays a scalar loop but reads plain int
+    arrays instead of ``Instruction`` objects.  Outputs are bitwise
+    identical to :func:`_profile_micro_trace_memory_scalar`.
+
+    ``columns`` supplies a pre-built columnar view; when omitted it is
+    built from (or found cached on) ``micro_trace``.
+    """
+    if columns is None:
+        columns = TraceColumns.ensure(micro_trace)
+    n = len(columns)
+    profile = MicroTraceMemoryProfile(length=n)
+    is_load = columns.is_load
+    load_positions = np.nonzero(is_load)[0]
+    profile.load_positions = load_positions.tolist()
+    profile.store_positions = np.nonzero(columns.is_store)[0].tolist()
+
+    # -- local reuse distances over the interleaved load/store stream --
+    mem_positions = np.nonzero(columns.is_mem)[0]
+    access_index = np.arange(mem_positions.shape[0], dtype=np.int64)
+    prev = previous_occurrence(columns.addr[mem_positions] // line_size)
+    closes_reuse = is_load[mem_positions] & (prev >= 0)
+    reuse_pc = columns.pc[mem_positions[closes_reuse]]
+    reuse_distance = (access_index - prev - 1)[closes_reuse]
+    reuse_order = np.argsort(reuse_pc, kind="stable")
+    sorted_reuse_pc = reuse_pc[reuse_order]
+    sorted_reuse_d = reuse_distance[reuse_order]
+    local_by_pc: Dict[int, List[int]] = {}
+    if sorted_reuse_pc.shape[0]:
+        cuts = np.nonzero(np.diff(sorted_reuse_pc))[0] + 1
+        group_starts = np.concatenate(([0], cuts))
+        group_ends = np.concatenate((cuts, [sorted_reuse_pc.shape[0]]))
+        for start, end in zip(group_starts.tolist(), group_ends.tolist()):
+            local_by_pc[int(sorted_reuse_pc[start])] = (
+                sorted_reuse_d[start:end].tolist()
+            )
+
+    # -- register-dataflow load depths: sequential by nature ------------
+    src1 = columns.src1.tolist()
+    src2 = columns.src2.tolist()
+    dst = columns.dst.tolist()
+    loads = is_load.tolist()
+    pcs = columns.pc.tolist()
+    load_depth_of_reg: Dict[int, int] = {}
+    load_dependence = profile.load_dependence
+    depth_sum_by_pc: Dict[int, int] = {}
+    for position in range(n):
+        depth = 0
+        src = src1[position]
+        if src >= 0:
+            depth = load_depth_of_reg.get(src, 0)
+        src = src2[position]
+        if src >= 0:
+            other = load_depth_of_reg.get(src, 0)
+            if other > depth:
+                depth = other
+        if loads[position]:
+            depth += 1
+            load_dependence[depth] += 1
+            pc = pcs[position]
+            depth_sum_by_pc[pc] = depth_sum_by_pc.get(pc, 0) + depth
+        reg = dst[position]
+        if reg >= 0:
+            load_depth_of_reg[reg] = depth
+
+    # -- static loads grouped by PC, in first-occurrence order ----------
+    load_pc = columns.pc[load_positions]
+    order = np.argsort(load_pc, kind="stable")
+    grouped_pc = load_pc[order]
+    grouped_pos = load_positions[order]
+    grouped_addr = columns.addr[load_positions][order]
+    grouped_dst = columns.dst[load_positions][order]
+    if grouped_pc.shape[0]:
+        cuts = np.nonzero(np.diff(grouped_pc))[0] + 1
+        group_starts = np.concatenate(([0], cuts))
+        group_ends = np.concatenate((cuts, [grouped_pc.shape[0]]))
+        first_seen = np.argsort(grouped_pos[group_starts], kind="stable")
+        for group in first_seen.tolist():
+            start = int(group_starts[group])
+            end = int(group_ends[group])
+            pc = int(grouped_pc[start])
+            load = StaticLoadProfile(
+                pc=pc,
+                first_position=int(grouped_pos[start]),
+                dst=int(grouped_dst[start]),
+            )
+            load.positions = grouped_pos[start:end].tolist()
+            load.strides = Counter(
+                (grouped_addr[start + 1:end]
+                 - grouped_addr[start:end - 1]).tolist()
+            )
+            load.local_reuse = local_by_pc.get(pc, [])
+            load.depth_sum = depth_sum_by_pc.get(pc, 0)
+            profile.static_loads[pc] = load
+    return profile
+
+
+def _profile_micro_trace_memory_scalar(
+    micro_trace: Sequence[Instruction],
+    line_size: int = 64,
+) -> MicroTraceMemoryProfile:
+    """Scalar reference for :func:`profile_micro_trace_memory`.
 
     One forward pass maintains:
 
@@ -210,6 +389,9 @@ def profile_micro_trace_memory(
     * per-line last-access index for local reuse distances;
     * register dataflow depths counting only loads, giving f(l)
       (thesis Fig 4.5: the l-th load on a dependence chain).
+
+    Kept verbatim as the ground truth the vectorized pass is
+    property-tested against (bitwise).
     """
     profile = MicroTraceMemoryProfile(length=len(micro_trace))
     last_address: Dict[int, int] = {}

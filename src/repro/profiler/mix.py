@@ -9,9 +9,12 @@ and functional-unit contention terms of the effective dispatch rate
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional
 
-from repro.isa import Instruction, UopKind, crack
+import numpy as np
+
+from repro.isa import Instruction, MacroOp, UopKind, crack
+from repro.workloads.columns import TraceColumns
 
 
 @dataclass
@@ -87,8 +90,38 @@ class UopMix:
         return scaled_mix
 
 
-def profile_mix(instructions: Iterable[Instruction]) -> UopMix:
-    """Profile the uop mix of an instruction span."""
+def profile_mix(
+    instructions: Iterable[Instruction],
+    columns: Optional[TraceColumns] = None,
+) -> UopMix:
+    """Profile the uop mix of an instruction span.
+
+    With ``columns`` (a columnar view of the same span) the mix is one
+    ``bincount`` over the macro-op codes expanded through the static
+    cracking templates -- no per-instruction loop.  The ``counts`` dict
+    is keyed in the scalar pass's insertion order (first encounter of
+    each uop kind in the cracked stream): downstream float reductions
+    iterate ``counts.items()``, so key order is part of the bitwise
+    contract, not a cosmetic detail.
+    """
+    if columns is not None:
+        op_counts = np.bincount(
+            columns.op, minlength=len(MacroOp)
+        ).tolist()
+        codes, first_index = np.unique(columns.op, return_index=True)
+        mix = UopMix(num_instructions=len(columns))
+        counts = mix.counts
+        # Accumulate ops by first dynamic appearance (template order
+        # within an op), so each kind is inserted exactly when the
+        # scalar loop would first insert it; the integer totals are
+        # order-independent.
+        encounter_order = np.argsort(first_index, kind="stable")
+        for code in codes[encounter_order].tolist():
+            count = op_counts[code]
+            for kind in crack(MacroOp(code)):
+                counts[kind] = counts.get(kind, 0) + count
+                mix.num_uops += count
+        return mix
     mix = UopMix()
     for instr in instructions:
         mix.add_instruction(instr)

@@ -13,6 +13,21 @@ passes) and returns an :class:`ApplicationProfile`:
 The profile is micro-architecture independent: nothing in it depends on a
 cache size, predictor or ROB; the model derives all inputs for any machine
 configuration from it.
+
+Two interchangeable backends produce the profile:
+
+* ``"columns"`` (default): the vectorized hot path.  The trace's
+  columnar view (:class:`~repro.workloads.columns.TraceColumns`, built
+  once and cached on the trace) feeds NumPy sweeps for the reuse,
+  cold-miss, stride, mix and entropy statistics; only the inherently
+  sequential register-dataflow recurrences stay scalar loops over
+  pre-extracted arrays.
+* ``"scalar"``: the original per-``Instruction`` loops, retained
+  verbatim as the reference implementation.
+
+Both backends produce **bitwise-identical** profiles (property-tested),
+so they hash to the same
+:class:`~repro.profiler.serialization.ProfileStore` content key.
 """
 
 from __future__ import annotations
@@ -20,6 +35,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.frontend.entropy import (
     BranchEntropyProfile,
@@ -36,11 +53,18 @@ from repro.profiler.memory import (
     MicroTraceMemoryProfile,
     profile_cold_misses,
     profile_micro_trace_memory,
+    _profile_cold_misses_scalar,
+    _profile_micro_trace_memory_scalar,
 )
 from repro.profiler.mix import UopMix, profile_mix
-from repro.profiler.sampling import SamplingConfig, iter_micro_traces
+from repro.profiler.sampling import (
+    SamplingConfig,
+    iter_micro_spans,
+    iter_micro_traces,
+)
 from repro.statstack.model import StatStack
-from repro.statstack.reuse import ReuseProfile
+from repro.statstack.reuse import ReuseProfile, reuse_sweep_into
+from repro.workloads.columns import TraceColumns
 from repro.workloads.trace import Trace
 
 
@@ -102,12 +126,103 @@ class ApplicationProfile:
         return self._instruction_statstack
 
 
+def _empty_window_local() -> Dict[str, object]:
+    """A fresh per-window attribution record (scalar-pass layout)."""
+    return {"load": {}, "store": {}, "cold_loads": 0, "cold_stores": 0,
+            "load_pc": {}, "cold_pc": {}}
+
+
 def _global_reuse_pass(
+    columns: TraceColumns,
+    sampling: SamplingConfig,
+    line_size: int,
+) -> Tuple[ReuseProfile, Dict[int, MicroTraceProfile]]:
+    """Vectorized global data-reuse pass over the columnar trace.
+
+    Semantics are those of :func:`_global_reuse_pass_scalar` (distances
+    against full-stream history; recorded reuses/colds closing inside a
+    micro-trace also land in that window's local histograms).  The
+    histogram collection itself delegates to the shared vectorized core
+    (:func:`~repro.statstack.reuse.reuse_sweep_into`, also behind
+    ``collect_reuse_profile``) with draws taken from
+    ``random.Random(sampling.reuse_seed)`` -- the same underlying draw
+    sequence as the scalar loop, bitwise.  Only the sparse
+    recorded-in-micro-trace subset (a few percent of accesses) is
+    walked in Python to build the per-window attribution dicts in
+    stream order.
+    """
+    profile = ReuseProfile(line_size=line_size)
+    window_length = sampling.window_length
+    micro_length = sampling.micro_trace_length
+
+    positions = np.nonzero(columns.is_mem)[0]
+    is_write = columns.is_store[positions]
+    swept = reuse_sweep_into(
+        profile,
+        columns.addr[positions],
+        is_write,
+        sampling.reuse_sample_rate,
+        random.Random(sampling.reuse_seed),
+    )
+    if swept is None:
+        return profile, {}
+    recorded, cold, distance = swept
+
+    # -- attribute recorded accesses closing inside micro-traces --------
+    attributed = recorded & ((positions % window_length) < micro_length)
+    per_window: Dict[int, Dict[str, object]] = {}
+    if np.any(attributed):
+        events = zip(
+            (positions[attributed] // window_length).tolist(),
+            columns.pc[positions[attributed]].tolist(),
+            is_write[attributed].tolist(),
+            cold[attributed].tolist(),
+            distance[attributed].tolist(),
+        )
+        for window_id, pc, event_write, event_cold, d in events:
+            local = per_window.get(window_id)
+            if local is None:
+                local = _empty_window_local()
+                per_window[window_id] = local
+            if event_cold:
+                if event_write:
+                    local["cold_stores"] += 1
+                else:
+                    local["cold_loads"] += 1
+                    local["cold_pc"][pc] = (
+                        local["cold_pc"].get(pc, 0) + 1
+                    )
+            else:
+                bucket = local["store" if event_write else "load"]
+                bucket[d] = bucket.get(d, 0) + 1
+                if not event_write:
+                    pc_bucket = local["load_pc"].setdefault(pc, {})
+                    pc_bucket[d] = pc_bucket.get(d, 0) + 1
+
+    micro_profiles: Dict[int, MicroTraceProfile] = {}
+    for window_id, local in per_window.items():
+        micro_profiles[window_id] = MicroTraceProfile(
+            start=window_id * window_length,
+            length=0,
+            mix=UopMix(),
+            chains=DependenceChains(),
+            memory=MicroTraceMemoryProfile(),
+            load_reuse=local["load"],
+            store_reuse=local["store"],
+            cold_loads=local["cold_loads"],
+            cold_stores=local["cold_stores"],
+            load_reuse_by_pc=local["load_pc"],
+            cold_by_pc=local["cold_pc"],
+        )
+    return profile, micro_profiles
+
+
+def _global_reuse_pass_scalar(
     instructions: Sequence[Instruction],
     sampling: SamplingConfig,
     line_size: int,
 ) -> Tuple[ReuseProfile, Dict[int, MicroTraceProfile]]:
-    """Collect the global data reuse profile and attribute reuses.
+    """Scalar reference of the global reuse pass (kept verbatim).
 
     Distances are measured over the *full* access stream (so micro-trace
     accesses see cross-window history, as StatStack's burst sampling
@@ -148,9 +263,7 @@ def _global_reuse_pass(
         local = None
         if in_micro:
             local = per_window.setdefault(
-                window_id,
-                {"load": {}, "store": {}, "cold_loads": 0, "cold_stores": 0,
-                 "load_pc": {}, "cold_pc": {}},
+                window_id, _empty_window_local()
             )
 
         profile.sampled_accesses += 1
@@ -203,9 +316,30 @@ def _global_reuse_pass(
 
 
 def _instruction_reuse_pass(
+    columns: TraceColumns, line_size: int
+) -> ReuseProfile:
+    """Vectorized reuse profile over the instruction-fetch stream.
+
+    Every fetch is an (unsampled) load access to its PC's cache line,
+    so this is the shared reuse sweep over the PC column with an
+    all-loads type vector and no sampling.  Bitwise identical to
+    :func:`_instruction_reuse_pass_scalar`.
+    """
+    profile = ReuseProfile(line_size=line_size)
+    reuse_sweep_into(
+        profile,
+        columns.pc,
+        np.zeros(len(columns), dtype=bool),
+        1.0,
+        None,
+    )
+    return profile
+
+
+def _instruction_reuse_pass_scalar(
     instructions: Sequence[Instruction], line_size: int
 ) -> ReuseProfile:
-    """Reuse profile over the instruction-fetch address stream."""
+    """Scalar reference: reuse over the instruction-fetch address stream."""
     profile = ReuseProfile(line_size=line_size)
     last_access: Dict[int, int] = {}
     for index, instr in enumerate(instructions):
@@ -233,16 +367,111 @@ def profile_application(
     rob_grid: Sequence[int] = DEFAULT_ROB_GRID,
     line_size: int = 64,
     entropy_history_lengths: Sequence[int] = (4, 8, 12),
+    backend: str = "columns",
 ) -> ApplicationProfile:
-    """Profile one application trace (the AIP's single profiling run)."""
+    """Profile one application trace (the AIP's single profiling run).
+
+    ``backend`` selects ``"columns"`` (vectorized, default) or
+    ``"scalar"`` (the retained per-``Instruction`` reference).  The two
+    produce bitwise-identical profiles; the scalar path exists for
+    property testing and the profiler speedup benchmark.
+    """
     sampling = sampling or SamplingConfig()
-    instructions = trace.instructions
+    if backend == "scalar":
+        return _profile_application_scalar(
+            trace, sampling, rob_grid, line_size, entropy_history_lengths
+        )
+    if backend != "columns":
+        raise ValueError(f"unknown profiling backend {backend!r}")
+
+    columns = TraceColumns.ensure(trace)
+    total = len(columns)
 
     reuse, micro_by_window = _global_reuse_pass(
+        columns, sampling, line_size
+    )
+    instruction_reuse = _instruction_reuse_pass(columns, line_size)
+    cold = profile_cold_misses((), columns=columns)
+    branch_entropy = profile_branch_entropy(
+        (), entropy_history_lengths, columns=columns
+    )
+
+    micro_traces: List[MicroTraceProfile] = []
+    all_chains: List[DependenceChains] = []
+    weights: List[float] = []
+    global_mix = UopMix()
+
+    for start, end in iter_micro_spans(total, sampling):
+        micro_columns = columns[start:end]
+        window_id = start // sampling.window_length
+        mix = profile_mix((), columns=micro_columns)
+        chains = profile_dependence_chains(
+            (), grid=rob_grid, columns=micro_columns
+        )
+        memory = profile_micro_trace_memory(
+            (), line_size=line_size, columns=micro_columns
+        )
+
+        micro_profile = micro_by_window.get(window_id)
+        if micro_profile is None:
+            micro_profile = MicroTraceProfile(
+                start=start,
+                length=end - start,
+                mix=mix,
+                chains=chains,
+                memory=memory,
+            )
+        else:
+            micro_profile.start = start
+            micro_profile.length = end - start
+            micro_profile.mix = mix
+            micro_profile.chains = chains
+            micro_profile.memory = memory
+        micro_traces.append(micro_profile)
+        global_mix.merge(mix)
+        all_chains.append(chains)
+        weights.append(end - start)
+
+    micro_traces.sort(key=lambda mt: mt.start)
+    aggregate_chains = DependenceChains(grid=tuple(rob_grid))
+    aggregate_chains.merge_weighted(all_chains, weights)
+
+    return ApplicationProfile(
+        name=trace.name,
+        num_instructions=total,
+        sampling=sampling,
+        mix=global_mix,
+        chains=aggregate_chains,
+        branch_entropy=branch_entropy,
+        reuse=reuse,
+        instruction_reuse=instruction_reuse,
+        cold=cold,
+        micro_traces=micro_traces,
+    )
+
+
+def _profile_application_scalar(
+    trace: Trace,
+    sampling: SamplingConfig,
+    rob_grid: Sequence[int] = DEFAULT_ROB_GRID,
+    line_size: int = 64,
+    entropy_history_lengths: Sequence[int] = (4, 8, 12),
+) -> ApplicationProfile:
+    """Scalar reference profiling run (the pre-columnar implementation).
+
+    Retained verbatim: this is the ground truth the vectorized backend
+    is property-tested against, and the baseline
+    ``benchmarks/bench_profiler.py`` measures its speedup over.
+    """
+    instructions = trace.instructions
+
+    reuse, micro_by_window = _global_reuse_pass_scalar(
         instructions, sampling, line_size
     )
-    instruction_reuse = _instruction_reuse_pass(instructions, line_size)
-    cold = profile_cold_misses(instructions)
+    instruction_reuse = _instruction_reuse_pass_scalar(
+        instructions, line_size
+    )
+    cold = _profile_cold_misses_scalar(instructions)
     branch_entropy = profile_branch_entropy(
         instructions, entropy_history_lengths
     )
@@ -256,7 +485,9 @@ def profile_application(
         window_id = start // sampling.window_length
         mix = profile_mix(micro)
         chains = profile_dependence_chains(micro, grid=rob_grid)
-        memory = profile_micro_trace_memory(micro, line_size=line_size)
+        memory = _profile_micro_trace_memory_scalar(
+            micro, line_size=line_size
+        )
 
         micro_profile = micro_by_window.get(window_id)
         if micro_profile is None:

@@ -59,6 +59,24 @@ class SamplingConfig:
         )
 
 
+def iter_micro_spans(
+    total: int,
+    config: SamplingConfig,
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, end)`` index spans of each micro-trace.
+
+    The single source of truth for the sampling grid: one micro-trace
+    at the head of every window, the final one possibly short, empty
+    tails skipped.  Both the object-view iterator
+    (:func:`iter_micro_traces`) and the columnar profiling backend
+    slice from these spans.
+    """
+    for start in range(0, total, config.window_length):
+        end = min(start + config.micro_trace_length, total)
+        if end > start:
+            yield start, end
+
+
 def iter_micro_traces(
     instructions: Sequence[Instruction],
     config: SamplingConfig,
@@ -68,8 +86,5 @@ def iter_micro_traces(
     The final micro-trace may be shorter than configured when the trace
     does not divide evenly; empty tails are skipped.
     """
-    n = len(instructions)
-    for start in range(0, n, config.window_length):
-        end = min(start + config.micro_trace_length, n)
-        if end > start:
-            yield start, instructions[start:end]
+    for start, end in iter_micro_spans(len(instructions), config):
+        yield start, instructions[start:end]

@@ -18,7 +18,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro.isa import Instruction
+from repro.workloads.columns import (
+    TraceColumns,
+    bernoulli_draws,
+    count_histogram,
+    previous_occurrence,
+)
 
 
 @dataclass
@@ -81,7 +89,10 @@ def collect_reuse_profile(
     Parameters
     ----------
     accesses:
-        Iterable of ``(address, is_write)`` pairs in stream order.
+        Iterable of ``(address, is_write)`` pairs in stream order, or a
+        pre-columnized ``(addresses, is_write)`` pair of NumPy arrays
+        (e.g. from :func:`accesses_from_columns`) -- the fast path that
+        skips per-access tuple iteration.
     line_size:
         Cache-line granularity in bytes.
     sample_rate:
@@ -98,6 +109,114 @@ def collect_reuse_profile(
     -------
     ReuseProfile
         The sampled (or exhaustive) reuse-distance histograms.
+    """
+    if not 0.0 < sample_rate <= 1.0:
+        raise ValueError("sample_rate must be in (0, 1]")
+    rng = rng if rng is not None else random.Random(seed)
+    if isinstance(accesses, tuple) and len(accesses) == 2 and isinstance(
+        accesses[0], np.ndarray
+    ):
+        addr, is_write = accesses
+        addr = np.asarray(addr, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+    else:
+        records = np.fromiter(
+            accesses, dtype=np.dtype([("addr", "i8"), ("w", "?")])
+        )
+        addr = records["addr"]
+        is_write = records["w"]
+    return _reuse_profile_from_arrays(
+        addr, is_write, line_size=line_size, sample_rate=sample_rate,
+        rng=rng,
+    )
+
+
+def reuse_sweep_into(
+    profile: ReuseProfile,
+    addr: np.ndarray,
+    is_write: np.ndarray,
+    sample_rate: float,
+    rng: Optional[random.Random],
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Vectorized reuse-distance sweep: the shared bitwise-sensitive core.
+
+    Fills ``profile``'s access totals, cold counts and typed histograms
+    from the ``(addr, is_write)`` arrays (line granularity taken from
+    ``profile.line_size``).  The per-line last-access dictionary becomes
+    one stable-argsort predecessor sweep
+    (:func:`~repro.workloads.columns.previous_occurrence`) and the
+    Bernoulli sampling decision one vectorized compare against draws
+    taken from the *scalar* RNG in stream order, so the recorded subset
+    -- and hence every histogram, including key insertion order -- is
+    bitwise identical to the retained scalar reference
+    (:func:`_collect_reuse_profile_scalar`).
+
+    Both :func:`collect_reuse_profile` and the profiler's global reuse
+    pass (``repro.profiler.profile._global_reuse_pass``) delegate here,
+    so the two can never drift apart.
+
+    Returns
+    -------
+    tuple of ndarray, or None
+        ``(recorded, cold, distance)`` per-access intermediates for
+        callers that attribute recorded accesses further (the
+        micro-trace attribution pass); ``None`` for an empty stream.
+    """
+    n = int(addr.shape[0])
+    profile.store_accesses = int(np.count_nonzero(is_write))
+    profile.load_accesses = n - profile.store_accesses
+    if n == 0:
+        return None
+
+    prev = previous_occurrence(addr // profile.line_size)
+    if sample_rate >= 1.0:
+        recorded = np.ones(n, dtype=bool)
+    else:
+        recorded = bernoulli_draws(rng, n) < sample_rate
+    profile.sampled_accesses = int(np.count_nonzero(recorded))
+
+    cold = prev < 0
+    profile.cold_stores = int(np.count_nonzero(recorded & cold & is_write))
+    profile.cold_loads = int(
+        np.count_nonzero(recorded & cold & ~is_write)
+    )
+    closing = recorded & ~cold
+    distance = np.arange(n, dtype=np.int64) - prev - 1
+    profile.histogram = count_histogram(distance[closing])
+    profile.load_histogram = count_histogram(
+        distance[closing & ~is_write]
+    )
+    profile.store_histogram = count_histogram(
+        distance[closing & is_write]
+    )
+    return recorded, cold, distance
+
+
+def _reuse_profile_from_arrays(
+    addr: np.ndarray,
+    is_write: np.ndarray,
+    line_size: int,
+    sample_rate: float,
+    rng: random.Random,
+) -> ReuseProfile:
+    """Vectorized reuse-distance collection over address/type arrays."""
+    profile = ReuseProfile(line_size=line_size)
+    reuse_sweep_into(profile, addr, is_write, sample_rate, rng)
+    return profile
+
+
+def _collect_reuse_profile_scalar(
+    accesses: Iterable[Tuple[int, bool]],
+    line_size: int = 64,
+    sample_rate: float = 1.0,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> ReuseProfile:
+    """Scalar reference implementation of :func:`collect_reuse_profile`.
+
+    One Python loop with a per-line last-access dictionary -- the
+    pre-columnar implementation, kept verbatim as the ground truth the
+    vectorized path is property-tested against (bitwise).
     """
     if not 0.0 < sample_rate <= 1.0:
         raise ValueError("sample_rate must be in (0, 1]")
@@ -147,6 +266,18 @@ def accesses_from_trace(
             yield instr.addr, False
         elif instr.is_store:
             yield instr.addr, True
+
+
+def accesses_from_columns(
+    columns: TraceColumns,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Adapt columnar trace data to the ``(addresses, is_write)`` arrays.
+
+    The returned pair feeds :func:`collect_reuse_profile` directly (its
+    array fast path), skipping per-access tuple creation entirely.
+    """
+    mem = columns.is_mem
+    return columns.addr[mem], columns.is_store[mem]
 
 
 def instruction_stream_from_trace(

@@ -8,6 +8,7 @@ random / pointer-chasing memory behaviour, and branches with controllable
 predictability.
 """
 
+from repro.workloads.columns import TraceColumns
 from repro.workloads.trace import Trace, TraceStats
 from repro.workloads.generator import (
     BranchSpec,
@@ -26,6 +27,7 @@ from repro.workloads.suite import (
 
 __all__ = [
     "Trace",
+    "TraceColumns",
     "TraceStats",
     "BranchSpec",
     "KernelSpec",

@@ -4,15 +4,29 @@ A :class:`Trace` is an in-memory dynamic instruction stream -- the unit of
 work every profiler and simulator in this package consumes.  Traces are
 immutable once built; all tools iterate over them without mutation so one
 trace can feed the profiler, the reference simulator and validation tools.
+
+A trace keeps two interchangeable representations of the same stream:
+
+* the **object view** -- a list of :class:`~repro.isa.Instruction` --
+  for the cycle-level simulator and any per-instruction consumer;
+* the **columnar view** -- :class:`~repro.workloads.columns.TraceColumns`
+  structure-of-arrays -- for the vectorized profiling passes.
+
+Either view is built lazily from the other and cached, and pickling
+always ships the columnar form (seven flat arrays) rather than the
+object list, so worker processes receive compact buffers and rebuild
+``Instruction`` objects only if they actually iterate them.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.isa import Instruction, MacroOp, UopKind, crack
+import numpy as np
+
+from repro.isa import Instruction, MacroOp, UopKind, crack, uop_count
+from repro.workloads.columns import TraceColumns
 
 
 @dataclass(frozen=True)
@@ -44,66 +58,92 @@ class Trace:
 
     def __init__(
         self,
-        instructions: Sequence[Instruction],
+        instructions: Optional[Sequence[Instruction]] = None,
         name: str = "anonymous",
         seed: int = 0,
+        columns: Optional[TraceColumns] = None,
     ) -> None:
-        self._instructions: List[Instruction] = list(instructions)
+        if instructions is None and columns is None:
+            raise ValueError("need instructions or columns")
+        self._instructions: Optional[List[Instruction]] = (
+            list(instructions) if instructions is not None else None
+        )
+        self._columns: Optional[TraceColumns] = columns
         self.name = name
         self.seed = seed
-        self._stats: TraceStats = None  # lazily computed
+        self._stats: Optional[TraceStats] = None  # lazily computed
 
     def __len__(self) -> int:
-        return len(self._instructions)
+        if self._instructions is not None:
+            return len(self._instructions)
+        return len(self._columns)
 
     def __iter__(self) -> Iterator[Instruction]:
-        return iter(self._instructions)
+        return iter(self.instructions)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(
-                self._instructions[index],
-                name=f"{self.name}[{index.start}:{index.stop}]",
-                seed=self.seed,
-            )
-        return self._instructions[index]
+            name = f"{self.name}[{index.start}:{index.stop}]"
+            if self._instructions is not None:
+                sliced = Trace(self._instructions[index], name=name,
+                               seed=self.seed)
+                if (self._columns is not None
+                        and (index.step is None or index.step == 1)):
+                    sliced._columns = self._columns[index]
+                return sliced
+            return Trace(name=name, seed=self.seed,
+                         columns=self._columns[index])
+        return self.instructions[index]
 
     def __repr__(self) -> str:
         return f"Trace(name={self.name!r}, n={len(self)})"
 
     @property
     def instructions(self) -> Sequence[Instruction]:
+        """The object view (materialized from columns when needed)."""
+        if self._instructions is None:
+            self._instructions = self._columns.instructions()
         return self._instructions
 
+    def columns(self) -> TraceColumns:
+        """The columnar (structure-of-arrays) view, built once and cached."""
+        if self._columns is None:
+            self._columns = TraceColumns.from_instructions(
+                self._instructions
+            )
+        return self._columns
+
     def stats(self) -> TraceStats:
-        """Compute (and cache) exact whole-trace statistics."""
+        """Compute (and cache) exact whole-trace statistics.
+
+        One columnar pass: a ``bincount`` over the macro-op codes gives
+        the macro mix, and the uop mix follows from the static cracking
+        templates -- no per-instruction Python loop.
+        """
         if self._stats is None:
-            macro_mix: Counter = Counter()
-            uop_mix: Counter = Counter()
+            columns = self.columns()
+            op_counts = np.bincount(
+                columns.op, minlength=len(MacroOp)
+            ).tolist()
+            macro_mix: Dict[MacroOp, int] = {}
+            uop_mix: Dict[UopKind, int] = {}
             num_uops = 0
-            num_branches = 0
-            num_loads = 0
-            num_stores = 0
-            for instr in self._instructions:
-                macro_mix[instr.op] += 1
-                uops = crack(instr.op)
-                num_uops += len(uops)
-                for kind in uops:
-                    uop_mix[kind] += 1
-                if instr.is_branch:
-                    num_branches += 1
-                if instr.is_load:
-                    num_loads += 1
-                if instr.is_store:
-                    num_stores += 1
+            for code, count in enumerate(op_counts):
+                if not count:
+                    continue
+                op = MacroOp(code)
+                macro_mix[op] = count
+                num_uops += uop_count(op) * count
+                for kind in crack(op):
+                    uop_mix[kind] = uop_mix.get(kind, 0) + count
             self._stats = TraceStats(
-                num_instructions=len(self._instructions),
+                num_instructions=len(self),
                 num_uops=num_uops,
-                macro_mix=dict(macro_mix),
-                uop_mix=dict(uop_mix),
-                num_branches=num_branches,
-                num_loads=num_loads,
-                num_stores=num_stores,
+                macro_mix=macro_mix,
+                uop_mix=uop_mix,
+                num_branches=int(np.count_nonzero(columns.is_branch)),
+                num_loads=int(np.count_nonzero(columns.is_load)),
+                num_stores=int(np.count_nonzero(columns.is_store)),
             )
         return self._stats
 
@@ -111,3 +151,21 @@ class Trace:
         """Yield consecutive window-sized sub-traces (last may be short)."""
         for start in range(0, len(self), window_size):
             yield self[start:start + window_size]
+
+    # -- pickling: ship columns, not object lists -----------------------
+
+    def __getstate__(self):
+        """Pickle the columnar view only (compact, array-backed)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "columns": self.columns(),
+            "stats": self._stats,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self.seed = state["seed"]
+        self._columns = state["columns"]
+        self._instructions = None
+        self._stats = state["stats"]

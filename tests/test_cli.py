@@ -30,6 +30,73 @@ class TestProfilePredictFlow:
         out = capsys.readouterr().out
         assert "1.60GHz" in out
 
+    def test_profile_into_store_warms_cache(self, tmp_path, capsys):
+        import json
+        import os
+
+        store = str(tmp_path / "store")
+        report = str(tmp_path / "profiles.json")
+        assert main(["profile", "gcc", "mcf", "--store", store,
+                     "--instructions", "4000", "--json", report]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "mcf" in out and "store:" in out
+        data = json.load(open(report))
+        assert [p["workload"] for p in data["profiles"]] == ["gcc",
+                                                             "mcf"]
+        for entry in data["profiles"]:
+            key = entry["fingerprint"]
+            assert len(key) == 64
+            # Both the profile and its warmed StatStack tables exist.
+            assert os.path.exists(
+                os.path.join(store, f"{key}.profile.json"))
+            assert os.path.exists(
+                os.path.join(store, f"{key}.tables.json"))
+
+    def test_profile_store_matches_file_output(self, tmp_path):
+        from repro.profiler.serialization import (
+            load_profile,
+            profile_fingerprint,
+        )
+
+        store = str(tmp_path / "store")
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--store", store,
+              "--instructions", "4000"])
+        profile = load_profile(path)
+        key = profile_fingerprint(profile)
+        assert main(["profile", "gcc", "--store", store,
+                     "--instructions", "4000"]) == 0
+        loaded = load_profile(
+            str(tmp_path / "store" / f"{key}.profile.json"))
+        assert profile_fingerprint(loaded) == key
+
+    def test_profile_duplicate_workloads_rejected(self, tmp_path,
+                                                  capsys):
+        assert main(["profile", "gcc", "gcc",
+                     "--store", str(tmp_path / "store")]) == 2
+        err = capsys.readouterr().err
+        assert "duplicate workload name" in err and "gcc" in err
+
+    def test_profile_requires_destination(self, capsys):
+        assert main(["profile", "gcc"]) == 2
+        assert "-o/--output and/or --store" in capsys.readouterr().err
+
+    def test_profile_output_single_workload_only(self, tmp_path,
+                                                 capsys):
+        assert main(["profile", "gcc", "mcf",
+                     "-o", str(tmp_path / "x.profile")]) == 2
+        assert "exactly one workload" in capsys.readouterr().err
+
+    def test_profile_sample_rate_alias(self, tmp_path):
+        from repro.profiler.serialization import load_profile
+
+        path = str(tmp_path / "gcc.profile")
+        main(["profile", "gcc", "-o", path, "--instructions", "4000",
+              "--sample-rate", "0.5", "--reuse-seed", "3"])
+        profile = load_profile(path)
+        assert profile.sampling.reuse_sample_rate == 0.5
+        assert profile.sampling.reuse_seed == 3
+
     def test_predict_mlp_model_choice(self, tmp_path, capsys):
         path = str(tmp_path / "gcc.profile")
         main(["profile", "gcc", "-o", path, "--instructions", "5000"])
