@@ -1,0 +1,64 @@
+"""The programmatic front door: one warm Session for a whole pipeline.
+
+Runs the paper's end-to-end loop -- profile once, sweep the design
+space, validate the model against the cycle-level simulator -- as three
+declarative ExperimentSpecs on a single Session.  Every stage shares
+the same worker pool (created at most once), the same ModelCache, and
+the same lazily-profiled workload registry, so the profile is collected
+exactly once and every later stage starts warm.
+
+Run with:  PYTHONPATH=src python examples/session_api.py
+"""
+
+from repro.api import ExperimentSpec, Session
+
+WORKLOADS = ["gcc", "mcf"]
+INSTRUCTIONS = 6000
+
+specs = [
+    # 1. Profile both workloads into the session registry (no files
+    #    needed -- later stages reference the workloads by name).
+    ExperimentSpec("profile", workloads=WORKLOADS,
+                   instructions=INSTRUCTIONS),
+    # 2. Sweep the first 24 configs of the Table 6.3 grid and rank the
+    #    best average configuration by energy-delay product.
+    ExperimentSpec("sweep", workloads=WORKLOADS,
+                   instructions=INSTRUCTIONS, limit=24,
+                   objective="edp"),
+    # 3. Close the accuracy loop: model vs cycle-level simulator over
+    #    the first 6 configs of the same grid.
+    ExperimentSpec("validate", workloads=WORKLOADS,
+                   instructions=INSTRUCTIONS, limit=6,
+                   train_fraction=0.0),
+]
+
+with Session(workers=2) as session:
+    profile, sweep, validate = session.run_many(specs)
+
+    print("== profile")
+    for entry in profile.data["profiles"]:
+        print(f"  {entry['workload']}: {entry['instructions']} "
+              f"instructions, {entry['micro_traces']} micro-traces "
+              f"({entry['seconds']:.2f} s)")
+
+    print("== sweep")
+    for w in sweep.data["workloads"]:
+        front = w["frontier"]
+        print(f"  {w['workload']}: {len(w['points'])} designs, "
+              f"{len(front)} Pareto-optimal")
+    best = sweep.data["best_average"]
+    print(f"  best average config ({best['objective']}): "
+          f"{best['config']}")
+
+    print("== validate")
+    for w in validate.data["workloads"]:
+        print(f"  {w['workload']}: mean CPI error "
+              f"{w['cpi_error']['mean']:.1%}, Pareto accuracy "
+              f"{w['pareto']['accuracy']:.2f}")
+
+    # The whole pipeline shared one worker pool (0 when this platform
+    # cannot spawn processes and every stage fell back to serial).
+    print(f"== worker pools created: {session.pool.pools_created}")
+    print("== spec fingerprints (run-store keys):")
+    for result in (profile, sweep, validate):
+        print(f"  {result.kind:<9} {result.spec_fingerprint[:16]}")

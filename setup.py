@@ -1,2 +1,44 @@
-from setuptools import setup
-setup()
+"""Package metadata for the ISPASS 2015 reproduction.
+
+Installs the ``repro`` package from ``src/`` and the ``repro`` console
+script (the same entry point as ``python -m repro.cli``).
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+# Single-source the version from the package (no import at build time).
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    (ROOT / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-ispass2015",
+    version=VERSION,
+    description=(
+        "Micro-architecture independent analytical processor "
+        "performance and power modeling (ISPASS 2015 reproduction)"
+    ),
+    long_description=(ROOT / "README.md").read_text(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -15,6 +15,15 @@ Quick start::
 
     reference = simulate(trace, nehalem())          # cycle-level ground truth
     print(reference.cpi)
+
+Or declaratively, through the session API (shared worker pool, warm
+caches, on-disk run store)::
+
+    from repro import ExperimentSpec, Session
+
+    with Session(workers=4) as session:
+        sweep = session.run(ExperimentSpec(
+            "sweep", workloads=["gcc"], objective="edp"))
 """
 
 from repro.workloads import (
@@ -56,8 +65,16 @@ from repro.explore import (
     pareto_metrics,
     speedups,
 )
+from repro.api import (
+    ExperimentSpec,
+    RunResult,
+    RunStore,
+    Session,
+    SpecError,
+    WorkerPool,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Trace",
@@ -92,5 +109,11 @@ __all__ = [
     "pareto_front",
     "pareto_metrics",
     "speedups",
+    "ExperimentSpec",
+    "RunResult",
+    "RunStore",
+    "Session",
+    "SpecError",
+    "WorkerPool",
     "__version__",
 ]

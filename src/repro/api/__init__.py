@@ -1,0 +1,40 @@
+"""The programmatic front door: Session + declarative ExperimentSpec.
+
+One import gives the whole pipeline as a library::
+
+    from repro.api import ExperimentSpec, Session
+
+    with Session(workers=4, profile_store=".cache") as session:
+        profile = session.run(ExperimentSpec(
+            "profile", workloads=["gcc", "mcf"]))
+        sweep = session.run(ExperimentSpec(
+            "sweep", workloads=["gcc", "mcf"], objective="edp"))
+        report = session.run(ExperimentSpec(
+            "validate", workloads=["gcc"], limit=16))
+
+Everything the stages share -- the worker pool, the model caches, the
+profile store, the lazily-profiled workload registry -- lives on the
+:class:`Session` and stays warm across runs; experiments are
+JSON-round-trippable :class:`ExperimentSpec` values and results are
+unified :class:`RunResult` artifacts, cacheable on disk in a
+:class:`RunStore`.  The ``repro`` CLI is a thin adapter over this
+package, and ``repro run spec.json`` executes specs directly.
+"""
+
+from repro.api.pool import WorkerPool, WorkerPoolError
+from repro.api.results import RunResult
+from repro.api.runstore import RunStore
+from repro.api.session import Session, config_from_overrides
+from repro.api.spec import EXPERIMENT_KINDS, ExperimentSpec, SpecError
+
+__all__ = [
+    "EXPERIMENT_KINDS",
+    "ExperimentSpec",
+    "RunResult",
+    "RunStore",
+    "Session",
+    "SpecError",
+    "WorkerPool",
+    "WorkerPoolError",
+    "config_from_overrides",
+]

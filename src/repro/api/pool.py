@@ -1,0 +1,222 @@
+"""A persistent, shareable worker pool for multi-stage experiment runs.
+
+The sweep engines historically created one ``multiprocessing.Pool`` per
+call: fine for a single sweep, wasteful for a pipeline that profiles,
+sweeps, searches and validates on the same machine in one process
+(every stage pays pool start-up, and warm per-worker state dies with
+the pool).  :class:`WorkerPool` factors the pool out into an object a
+:class:`~repro.api.session.Session` can own for its whole lifetime and
+hand to every stage.
+
+Because a long-lived pool cannot use per-sweep ``initializer`` /
+``initargs`` (those are fixed at pool creation), the pool broadcasts
+each stage's shared state out of band instead: the state is pickled
+once in the parent, small states ride along with every task while
+large ones (traces, many profiles) are spilled to one temp file that
+each worker reads once, and either way the unpickled state is cached
+worker-side under a monotonically increasing token -- each worker
+materializes a given stage's state at most once.  Results are bitwise
+identical to the per-call-pool path; only where the processes come
+from (and how state reaches them) changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import shutil
+import tempfile
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
+
+__all__ = ["WorkerPool", "WorkerPoolError"]
+
+
+class WorkerPoolError(RuntimeError):
+    """The pool cannot run tasks (no usable ``multiprocessing``).
+
+    Raised by :meth:`WorkerPool.imap` when worker processes cannot be
+    created on this platform (missing semaphores, sandboxed
+    environments, ...).  Callers are expected to fall back to their
+    serial path, exactly as the engines do for per-call pools.
+    """
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module level so it pickles under spawn too)
+# ----------------------------------------------------------------------
+
+#: Per-worker cache of the most recent shared state: the token names
+#: one ``imap`` call's state, so re-unpickling is skipped for every
+#: task after a worker's first task of a stage.
+_SHARED_STATE = {"token": None, "value": None}
+
+
+def _dispatch(task: Tuple[int, Any, Callable, Any]) -> Any:
+    """Run one wrapped task inside a worker.
+
+    ``task`` is ``(token, payload, func, args)``: ``payload`` is the
+    pickled shared state of the stage identified by ``token`` --
+    either the raw bytes (small states) or the path of a spill file
+    (large states, read once per worker) -- and ``func(state, args)``
+    performs the actual work.
+    """
+    token, payload, func, args = task
+    if _SHARED_STATE["token"] != token:
+        blob = payload
+        if isinstance(payload, str):
+            with open(payload, "rb") as handle:
+                blob = handle.read()
+        _SHARED_STATE["value"] = pickle.loads(blob)
+        _SHARED_STATE["token"] = token
+    return func(_SHARED_STATE["value"], args)
+
+
+class WorkerPool:
+    """A lazily-created ``multiprocessing.Pool`` reused across stages.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``None`` uses ``os.cpu_count()``;
+        values ``<= 1`` mean the pool is never created (callers should
+        consult :attr:`parallel` and stay serial).
+
+    Attributes
+    ----------
+    pools_created:
+        How many OS-level pools this object has created -- test
+        instrumentation for the "one pool per session" guarantee; a
+        multi-stage pipeline sharing one :class:`WorkerPool` reads 1
+        here no matter how many sweeps it ran (0 when every stage ran
+        serially or process creation is unavailable).
+
+    Examples
+    --------
+    >>> pool = WorkerPool(workers=4)                   # doctest: +SKIP
+    >>> for out in pool.imap(func, state, tasks):      # doctest: +SKIP
+    ...     consume(out)
+    >>> pool.close()                                   # doctest: +SKIP
+    """
+
+    #: Stage states whose pickle exceeds this many bytes are spilled
+    #: to one temp file and broadcast by path (one disk read per
+    #: worker) instead of being attached to every task.
+    inline_state_limit = 65536
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+        self.pools_created = 0
+        self._pool = None
+        self._tokens = itertools.count(1)
+        self._unavailable = False
+        self._spill_dir: Optional[str] = None
+        self._spills: dict = {}
+
+    def effective_workers(self) -> int:
+        """The worker count after resolving the ``None`` default."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool would run tasks on worker processes."""
+        return self.effective_workers() > 1 and not self._unavailable
+
+    # ------------------------------------------------------------------
+
+    def _ensure(self):
+        """The live pool, created on first use (:class:`WorkerPoolError`
+        when worker processes cannot be created on this platform)."""
+        if self._unavailable:
+            raise WorkerPoolError("worker processes unavailable")
+        if self._pool is None:
+            try:
+                import multiprocessing
+
+                self._pool = multiprocessing.Pool(
+                    processes=self.effective_workers()
+                )
+            except (ImportError, OSError, ValueError) as exc:
+                self._unavailable = True
+                raise WorkerPoolError(str(exc)) from exc
+            self.pools_created += 1
+        return self._pool
+
+    def _spill(self, token: int, payload: bytes) -> str:
+        """Write one stage's state to a spill file; return its path.
+
+        Stages run in token order and overlap at most pairwise (e.g. a
+        streaming consumer of one sweep starting the next), so spill
+        files older than the previous stage are dead and deleted here;
+        :meth:`close` removes the whole spill directory.
+        """
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-pool-")
+        path = os.path.join(self._spill_dir, f"state-{token}.pkl")
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        for old in [t for t in self._spills if t < token - 1]:
+            try:
+                os.remove(self._spills.pop(old))
+            except OSError:
+                pass
+        self._spills[token] = path
+        return path
+
+    def imap(
+        self,
+        func: Callable[[Any, Any], Any],
+        state: Any,
+        tasks: Sequence[Any],
+    ) -> Iterator[Any]:
+        """Stream ``func(state, task)`` results in task order.
+
+        ``state`` is pickled once here and installed lazily in each
+        worker (cached under this call's token).  Pickles larger than
+        :attr:`inline_state_limit` are spilled to a temp file and
+        shipped by path -- one disk read per worker instead of the
+        whole state riding the pipe with every task.  ``func`` must be
+        a module-level (picklable) callable.
+
+        Raises
+        ------
+        WorkerPoolError
+            When the pool cannot be created; callers fall back to
+            their serial path.
+        """
+        pool = self._ensure()
+        token = next(self._tokens)
+        payload: Any = pickle.dumps(
+            state, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        if len(payload) > self.inline_state_limit:
+            payload = self._spill(token, payload)
+        wrapped = [(token, payload, func, task) for task in tasks]
+        return pool.imap(_dispatch, wrapped)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent).
+
+        The pool object stays usable: the next :meth:`imap` creates a
+        fresh OS pool (and increments :attr:`pools_created`).
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._spills = {}
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()

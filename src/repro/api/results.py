@@ -1,0 +1,124 @@
+"""The unified run artifact: one result type for every experiment kind.
+
+Before the API layer, each CLI subcommand produced its own ad-hoc dict
+(or only text).  :class:`RunResult` unifies them: the spec that produced
+the run, the kind, and a JSON-serializable ``data`` payload whose shape
+is fixed per kind (see :class:`~repro.api.session.Session` for the
+per-kind payloads).  Results round-trip through JSON bit-exactly and
+carry a content-addressed fingerprint, so campaigns can be archived,
+diffed and de-duplicated like profiles in the
+:class:`~repro.profiler.serialization.ProfileStore`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Mapping, Union
+
+from repro.api.spec import ExperimentSpec, SpecError
+from repro.profiler.serialization import canonical_fingerprint
+
+__all__ = ["RunResult"]
+
+#: Run-result format version written by :meth:`RunResult.to_dict`.
+RESULT_FORMAT_VERSION = 1
+
+
+class RunResult:
+    """The outcome of one :meth:`~repro.api.session.Session.run` call.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.api.spec.ExperimentSpec` that produced this
+        result.
+    data:
+        The kind-specific JSON-serializable payload.
+    cached:
+        Runtime-only flag: ``True`` when this result was returned from
+        a :class:`~repro.api.runstore.RunStore` instead of being
+        computed.  Not serialized.
+
+    Examples
+    --------
+    >>> result = session.run(spec)                     # doctest: +SKIP
+    >>> RunResult.from_dict(result.to_dict()).fingerprint \\
+    ...     == result.fingerprint                      # doctest: +SKIP
+    True
+    """
+
+    __slots__ = ("spec", "data", "cached")
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        data: Dict[str, Any],
+        cached: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.data = data
+        self.cached = cached
+
+    @property
+    def kind(self) -> str:
+        """The experiment kind that produced this result."""
+        return self.spec.kind
+
+    @property
+    def spec_fingerprint(self) -> str:
+        """The producing spec's content fingerprint (run-store key)."""
+        return self.spec.fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the whole artifact (spec + payload)."""
+        return canonical_fingerprint(self.to_dict())
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable artifact (excludes runtime flags)."""
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "kind": self.kind,
+            "spec": self.spec.to_dict(),
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        version = data.get("format_version")
+        if version != RESULT_FORMAT_VERSION:
+            raise SpecError(
+                f"unsupported run-result format version {version!r}"
+            )
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            data=dict(data["data"]),
+        )
+
+    def save(self, file: Union[str, IO[str]]) -> None:
+        """Write the artifact as JSON (path or open handle)."""
+        data = self.to_dict()
+        if isinstance(file, str):
+            with open(file, "w") as handle:
+                json.dump(data, handle, indent=2)
+        else:
+            json.dump(data, file, indent=2)
+
+    @classmethod
+    def load(cls, file: Union[str, IO[str]]) -> "RunResult":
+        """Read an artifact back from a JSON file (path or handle)."""
+        if isinstance(file, str):
+            with open(file) as handle:
+                data = json.load(handle)
+        else:
+            data = json.load(file)
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:
+        """Compact debugging form."""
+        suffix = " cached" if self.cached else ""
+        return (f"RunResult(kind={self.kind!r}, "
+                f"spec={self.spec_fingerprint[:12]}{suffix})")

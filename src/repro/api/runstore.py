@@ -1,0 +1,85 @@
+"""On-disk, content-addressed store of experiment run results.
+
+The run-level twin of the profile-level
+:class:`~repro.profiler.serialization.ProfileStore`: results are keyed
+by the *spec* fingerprint (what was asked), so a multi-experiment
+campaign (:meth:`~repro.api.session.Session.run_many`) can skip every
+run whose spec it has already computed -- results are deterministic at
+any worker count, which is what makes the spec a sufficient key.
+
+Layout: ``<root>/<spec-fingerprint>.run.json`` holds one serialized
+:class:`~repro.api.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.api.results import RunResult
+from repro.api.spec import ExperimentSpec, SpecError
+
+__all__ = ["RunStore"]
+
+
+class RunStore:
+    """Content-addressed on-disk cache of :class:`RunResult` artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory for the store; created on first write.
+
+    Examples
+    --------
+    >>> store = RunStore(".run-store")                 # doctest: +SKIP
+    >>> store.get(spec) is None                        # doctest: +SKIP
+    True
+    >>> store.put(session.run(spec))                   # doctest: +SKIP
+    >>> store.get(spec).cached                         # doctest: +SKIP
+    False
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def path(self, key: Union[str, ExperimentSpec]) -> str:
+        """Path of the stored run for a spec (or spec fingerprint)."""
+        if isinstance(key, ExperimentSpec):
+            key = key.fingerprint
+        return os.path.join(self.root, f"{key}.run.json")
+
+    def __contains__(self, key: Union[str, ExperimentSpec]) -> bool:
+        """Whether a result for this spec/fingerprint is stored."""
+        return os.path.exists(self.path(key))
+
+    def get(
+        self,
+        spec: ExperimentSpec,
+        key: Optional[str] = None,
+    ) -> Optional[RunResult]:
+        """The stored result for ``spec``, or ``None``.
+
+        ``key`` overrides the lookup fingerprint -- the session passes
+        a content-aware key here when the spec references files (see
+        :meth:`~repro.api.session.Session.run_key`), so edits to a
+        referenced profile or space file miss instead of serving stale
+        results.  Unreadable or stale-format entries also count as
+        misses (the caller recomputes and overwrites them), so a
+        corrupted store heals itself instead of failing campaigns.
+        """
+        path = self.path(key if key is not None else spec)
+        if not os.path.exists(path):
+            return None
+        try:
+            return RunResult.load(path)
+        except (OSError, ValueError, KeyError, SpecError):
+            return None
+
+    def put(self, result: RunResult, key: Optional[str] = None) -> str:
+        """Store one result (overwrites) and return its store key."""
+        if key is None:
+            key = result.spec_fingerprint
+        os.makedirs(self.root, exist_ok=True)
+        result.save(self.path(key))
+        return key

@@ -1,0 +1,671 @@
+"""The long-lived programmatic front door: ``Session.run(spec)``.
+
+The paper's value is a *pipeline* -- profile once, then drive model
+prediction, design-space filtering and simulator validation off the
+same profile.  :class:`Session` owns the resources every stage of that
+pipeline shares:
+
+* one persistent :class:`~repro.api.pool.WorkerPool` reused by the
+  model-side :class:`~repro.explore.engine.SweepEngine` and the
+  simulator-side :class:`~repro.explore.validate.SimulationSweep`
+  (instead of one ``multiprocessing.Pool`` per call);
+* one :class:`~repro.core.interval.ModelCache` per analytical-model
+  variant, kept warm across experiments;
+* an optional warmed
+  :class:`~repro.profiler.serialization.ProfileStore` (on-disk
+  StatStack tables) and :class:`~repro.api.runstore.RunStore`
+  (on-disk run results, keyed by spec fingerprint);
+* a lazily-profiled workload registry: experiments that name suite
+  workloads instead of profile files trigger trace generation and
+  profiling at most once per distinct profiling-parameter set.
+
+Experiments are described declaratively by
+:class:`~repro.api.spec.ExperimentSpec` and executed by
+:meth:`Session.run`, which returns a unified, JSON-round-trippable
+:class:`~repro.api.results.RunResult`.  Every result is bitwise
+identical to the corresponding CLI subcommand's output -- the CLI is a
+thin adapter over this class.
+
+Examples
+--------
+>>> from repro.api import ExperimentSpec, Session     # doctest: +SKIP
+>>> with Session(workers=4, profile_store=".cache") as session:
+...     sweep = session.run(ExperimentSpec(
+...         "sweep", workloads=["gcc"], limit=32))    # doctest: +SKIP
+...     report = session.run(ExperimentSpec(
+...         "validate", workloads=["gcc"], limit=8))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.api.pool import WorkerPool
+from repro.api.results import RunResult
+from repro.api.runstore import RunStore
+from repro.api.spec import ExperimentSpec, SpecError
+from repro.core.interval import ModelCache
+from repro.core.model import AnalyticalModel
+from repro.core.machine import MachineConfig, nehalem
+from repro.explore.engine import SweepEngine
+from repro.profiler.serialization import ProfileStore
+
+__all__ = ["Session", "config_from_overrides"]
+
+#: Kinds whose results the :class:`RunStore` may serve from disk.
+#: ``profile`` runs always execute: their product is the profile file /
+#: :class:`ProfileStore` entry itself (already content-addressed), not
+#: the summary payload.
+_CACHEABLE_KINDS = frozenset(
+    {"predict", "sweep", "search", "validate", "dvfs"}
+)
+
+
+def config_from_overrides(
+    width: Optional[int] = None,
+    rob: Optional[int] = None,
+    llc_mb: Optional[int] = None,
+    frequency: Optional[float] = None,
+    prefetch: bool = False,
+) -> MachineConfig:
+    """The Nehalem-like reference core with spec/CLI-style overrides.
+
+    Mirrors the CLI's ``--width/--rob/--llc-mb/--frequency/--prefetch``
+    flags bit-for-bit (same replacement order, hence same derived
+    config names).
+
+    Returns
+    -------
+    MachineConfig
+        The overridden configuration.
+    """
+    from dataclasses import replace
+
+    from repro.caches.cache import CacheConfig
+
+    config = nehalem()
+    if width is not None:
+        config = replace(config, dispatch_width=width)
+    if rob is not None:
+        config = replace(config, rob_size=rob)
+    if llc_mb is not None:
+        config = replace(
+            config, llc=CacheConfig(llc_mb << 20, 16, 64, latency=30)
+        )
+    if frequency is not None:
+        config = config.with_frequency(frequency)
+    if prefetch:
+        config = replace(config, prefetch=True)
+    return config
+
+
+def _point_dict(point) -> Dict[str, float]:
+    """JSON-friendly metrics of one :class:`DesignPoint`."""
+    return {
+        "config": point.config.name,
+        "cpi": point.cpi,
+        "seconds": point.seconds,
+        "power_watts": point.power_watts,
+        "energy_joules": point.energy_joules,
+        "edp": point.edp,
+        "ed2p": point.ed2p,
+    }
+
+
+class Session:
+    """Shared-resource owner and executor for declarative experiments.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes shared by every parallel stage (model sweeps
+        and simulation sweeps).  ``1`` (the default) runs everything
+        serially and never creates a pool; ``None`` uses
+        ``os.cpu_count()``.  Results are bitwise identical at any
+        worker count.
+    profile_store:
+        Optional :class:`ProfileStore` (or its directory path): every
+        profile the session touches is content-hashed into it and its
+        StatStack tables are memoized on disk, so repeated sessions
+        start warm.
+    run_store:
+        Optional :class:`RunStore` (or its directory path): results of
+        deterministic experiment kinds are cached by spec fingerprint
+        and served from disk on re-run (:attr:`RunResult.cached` is
+        then ``True``).
+    model:
+        Optional base :class:`AnalyticalModel`; a default-configured
+        one is built when omitted.  A :class:`ModelCache` is attached
+        (if absent) and kept warm for the session's lifetime.
+
+    Examples
+    --------
+    >>> with Session(workers=2) as session:            # doctest: +SKIP
+    ...     result = session.run({"kind": "predict",
+    ...                           "params": {"workload": "gcc"}})
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        profile_store: Union[ProfileStore, str, None] = None,
+        run_store: Union[RunStore, str, None] = None,
+        model: Optional[AnalyticalModel] = None,
+    ) -> None:
+        if isinstance(profile_store, str):
+            profile_store = ProfileStore(profile_store)
+        if isinstance(run_store, str):
+            run_store = RunStore(run_store)
+        self.workers = workers
+        self.profile_store = profile_store
+        self.run_store = run_store
+
+        base = model if model is not None else AnalyticalModel()
+        if base.cache is None:
+            base.cache = ModelCache()
+        #: Analytical-model variants by MLP estimator; each keeps its
+        #: own :class:`ModelCache` (caches must not be shared across
+        #: variants -- their predictions differ).
+        self._models: Dict[str, AnalyticalModel] = {
+            base.interval.mlp_model: base
+        }
+        self.model = base
+        self.pool = WorkerPool(workers)
+        self.engine = SweepEngine(
+            model=base,
+            workers=workers,
+            store=profile_store,
+            pool=self.pool,
+        )
+        # Lazily-profiled workload registry: traces by
+        # (name, instructions, trace_seed); profiles by the full
+        # profiling-parameter key; profile files by path.
+        self._traces: Dict[tuple, Any] = {}
+        self._profiles: Dict[tuple, Any] = {}
+        self._file_profiles: Dict[str, Any] = {}
+
+    # -- shared resources ----------------------------------------------
+
+    def _model_for(self, mlp_model: str) -> AnalyticalModel:
+        """The session's model variant for one MLP estimator."""
+        if mlp_model not in self._models:
+            self._models[mlp_model] = AnalyticalModel(
+                mlp_model=mlp_model, cache=ModelCache()
+            )
+        return self._models[mlp_model]
+
+    def trace(self, name: str, instructions: int, trace_seed: int):
+        """The (cached) synthetic trace of one suite workload."""
+        from repro.workloads import generate_trace, make_workload
+
+        key = (name, instructions, trace_seed)
+        if key not in self._traces:
+            self._traces[key] = generate_trace(
+                make_workload(name, seed=trace_seed),
+                max_instructions=instructions,
+            )
+        return self._traces[key]
+
+    def profile_workload(
+        self,
+        name: str,
+        instructions: int = 50_000,
+        micro_trace: int = 1000,
+        window: int = 5000,
+        trace_seed: int = 42,
+        reuse_sample_rate: float = 1.0,
+        reuse_seed: int = 0,
+    ):
+        """Profile one suite workload through the session registry.
+
+        The trace is generated and profiled at most once per distinct
+        parameter set for the session's lifetime; later experiments
+        naming the same workload with the same parameters reuse the
+        in-memory profile (and its warmed StatStack models).
+
+        Returns
+        -------
+        ApplicationProfile
+            The (possibly cached) profile.
+        """
+        from repro.profiler import SamplingConfig, profile_application
+
+        key = (name, instructions, micro_trace, window, trace_seed,
+               reuse_sample_rate, reuse_seed)
+        if key not in self._profiles:
+            trace = self.trace(name, instructions, trace_seed)
+            sampling = SamplingConfig(
+                micro_trace,
+                window,
+                reuse_sample_rate=reuse_sample_rate,
+                reuse_seed=reuse_seed,
+            )
+            self._profiles[key] = profile_application(trace, sampling)
+        return self._profiles[key]
+
+    def load_profile(self, path: str):
+        """Load a profile file (cached by path for the session)."""
+        from repro.profiler.serialization import load_profile
+
+        if path not in self._file_profiles:
+            self._file_profiles[path] = load_profile(path)
+        return self._file_profiles[path]
+
+    def _registry_profiles(self, params: Mapping[str, Any],
+                           names: Sequence[str]) -> List[Any]:
+        """Profiles for suite workload names, via the registry."""
+        return [
+            self.profile_workload(
+                name,
+                instructions=params["instructions"],
+                micro_trace=params["micro_trace"],
+                window=params["window"],
+                trace_seed=params["trace_seed"],
+                reuse_sample_rate=params["reuse_sample_rate"],
+                reuse_seed=params["reuse_seed"],
+            )
+            for name in names
+        ]
+
+    def _gather_profiles(self, params: Mapping[str, Any]) -> List[Any]:
+        """Profiles for a sweep/search spec: files first, then names."""
+        profiles = [
+            self.load_profile(path)
+            for path in (params["profiles"] or [])
+        ]
+        profiles.extend(
+            self._registry_profiles(params, params["workloads"] or [])
+        )
+        return profiles
+
+    def _single_profile(self, params: Mapping[str, Any]):
+        """The one profile of a predict/dvfs spec (file or registry)."""
+        if params["profile"] is not None:
+            return self.load_profile(params["profile"])
+        return self._registry_profiles(params, [params["workload"]])[0]
+
+    @staticmethod
+    def _space(params: Mapping[str, Any]):
+        """The declarative space of a spec (file or Table 6.3 grid)."""
+        from repro.explore.space import DesignSpace
+
+        if params["space"]:
+            return DesignSpace.load(params["space"])
+        return DesignSpace.default()
+
+    # -- execution ------------------------------------------------------
+
+    @staticmethod
+    def run_key(spec: ExperimentSpec) -> str:
+        """The run-store key of a spec: its fingerprint, made
+        content-aware for specs that reference files.
+
+        Specs naming on-disk inputs (``profile``/``profiles`` files, a
+        ``space`` JSON) fold a content hash of each referenced file
+        into the key, so editing a referenced file invalidates cached
+        runs instead of serving results computed from the old bytes.
+        Specs that only name suite workloads key on the spec
+        fingerprint alone.
+        """
+        from repro.profiler.serialization import canonical_fingerprint
+
+        params = spec.params
+        paths = [params[name] for name in ("profile", "space")
+                 if params.get(name)]
+        paths.extend(params.get("profiles") or [])
+        if not paths:
+            return spec.fingerprint
+        files: Dict[str, Optional[str]] = {}
+        for path in sorted(set(paths)):
+            try:
+                with open(path, "rb") as handle:
+                    digest = hashlib.sha256(handle.read()).hexdigest()
+            except OSError:
+                # Missing file: execution will raise naturally; the
+                # key stays stable so nothing stale is served.
+                digest = None
+            files[path] = digest
+        return canonical_fingerprint(
+            {"spec": spec.fingerprint, "files": files}
+        )
+
+    def run(
+        self, spec: Union[ExperimentSpec, Mapping[str, Any]]
+    ) -> RunResult:
+        """Execute one experiment (or serve it from the run store).
+
+        Parameters
+        ----------
+        spec:
+            An :class:`ExperimentSpec` or a plain ``{"kind": ...,
+            "params": {...}}`` mapping.
+
+        Returns
+        -------
+        RunResult
+            The unified artifact; :attr:`RunResult.cached` is ``True``
+            when it came from the :class:`RunStore`.
+        """
+        spec = ExperimentSpec.coerce(spec)
+        cacheable = (self.run_store is not None
+                     and spec.kind in _CACHEABLE_KINDS)
+        if cacheable:
+            key = self.run_key(spec)
+            cached = self.run_store.get(spec, key=key)
+            if cached is not None:
+                cached.cached = True
+                return cached
+        runner = getattr(self, f"_run_{spec.kind}")
+        result = RunResult(spec=spec, data=runner(spec.params))
+        if cacheable:
+            self.run_store.put(result, key=key)
+        return result
+
+    def run_many(
+        self,
+        specs: Sequence[Union[ExperimentSpec, Mapping[str, Any]]],
+    ) -> List[RunResult]:
+        """Execute a campaign of specs on this session's warm resources.
+
+        Runs sequentially in order (stages often feed each other's
+        caches); with a :class:`RunStore` attached, already-computed
+        specs are skipped and served from disk.
+        """
+        return [self.run(spec) for spec in specs]
+
+    # -- per-kind executors ---------------------------------------------
+
+    def _run_profile(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Profile workloads into files / the store / the registry."""
+        from repro.profiler.serialization import save_profile
+
+        store = self.profile_store
+        if params["store"]:
+            store = ProfileStore(params["store"])
+        entries = []
+        for name in params["workloads"]:
+            started = time.perf_counter()
+            profile = self.profile_workload(
+                name,
+                instructions=params["instructions"],
+                micro_trace=params["micro_trace"],
+                window=params["window"],
+                trace_seed=params["seed"],
+                reuse_sample_rate=params["reuse_sample_rate"],
+                reuse_seed=params["reuse_seed"],
+            )
+            key = store.warm(profile) if store is not None else None
+            if params["output"]:
+                save_profile(profile, params["output"])
+            entries.append({
+                "workload": name,
+                "instructions": profile.num_instructions,
+                "micro_traces": len(profile.micro_traces),
+                "fingerprint": key,
+                "output": params["output"],
+                "seconds": round(time.perf_counter() - started, 6),
+            })
+        return {
+            "store": params["store"],
+            "sampling": {
+                "micro_trace_length": params["micro_trace"],
+                "window_length": params["window"],
+                "reuse_sample_rate": params["reuse_sample_rate"],
+                "reuse_seed": params["reuse_seed"],
+            },
+            "trace_seed": params["seed"],
+            "profiles": entries,
+        }
+
+    def _run_predict(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Evaluate the analytical model for one (profile, config)."""
+        profile = self._single_profile(params)
+        config = config_from_overrides(
+            width=params["width"],
+            rob=params["rob"],
+            llc_mb=params["llc_mb"],
+            frequency=params["frequency"],
+            prefetch=params["prefetch"],
+        )
+        model = self._model_for(params["mlp_model"])
+        result = model.predict(profile, config)
+        return {
+            "workload": profile.name,
+            "config": config.name,
+            "cpi": result.cpi,
+            "seconds": result.seconds,
+            "power_watts": result.power_watts,
+            "power_static_watts": result.power.static_total,
+            "energy_joules": result.energy_joules,
+            "edp": result.edp,
+            "ed2p": result.ed2p,
+            "cpi_stack": result.cpi_stack(),
+        }
+
+    def _run_sweep(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Sweep a design space; per-workload points + Pareto fronts."""
+        from repro.explore.dse import best_average_config
+        from repro.explore.pareto import StreamingParetoFront
+        from repro.explore.search import get_objective
+
+        profiles = self._gather_profiles(params)
+        names = [p.name for p in profiles]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise SpecError(
+                "duplicate profile name(s): " + ", ".join(duplicates)
+                + " (results are keyed by workload name; profiles "
+                "would silently merge)"
+            )
+        space = self._space(params)
+        configs = space.configs()
+        if params["limit"] is not None:
+            configs = configs[:params["limit"]]
+
+        frontiers = {p.name: StreamingParetoFront() for p in profiles}
+        results = {p.name: [] for p in profiles}
+        for point in self.engine.iter_sweep(profiles, configs):
+            results[point.workload].append(point)
+            frontiers[point.workload].add_point(point)
+
+        workloads = [
+            {
+                "workload": profile.name,
+                "points": [
+                    _point_dict(p) for p in results[profile.name]
+                ],
+                "frontier": [
+                    _point_dict(point) for _, _, point
+                    in frontiers[profile.name].frontier()
+                ],
+            }
+            for profile in profiles
+        ]
+        best_average = None
+        if configs:
+            if params["objective"]:
+                objective = get_objective(params["objective"])
+                best_average = {
+                    "objective": objective.name,
+                    "config": best_average_config(
+                        results, metric=objective.metric
+                    ),
+                }
+            elif len(profiles) > 1:
+                # Historical default: rank by average CPI.
+                best_average = {
+                    "objective": None,
+                    "config": best_average_config(results),
+                }
+        return {
+            "space": space.name,
+            "n_configs": len(configs),
+            "workloads": workloads,
+            "best_average": best_average,
+        }
+
+    def _run_search(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Guided search over a space under an evaluation budget."""
+        from repro.explore.search import (
+            SearchProblem,
+            get_objective,
+            make_optimizer,
+        )
+
+        kwargs = {}
+        if params["population"] is not None:
+            kwargs["population"] = params["population"]
+        if params["batch_size"] is not None:
+            kwargs["batch_size"] = params["batch_size"]
+        optimizer = make_optimizer(
+            params["optimizer"], seed=params["seed"], **kwargs
+        )
+        profiles = self._gather_profiles(params)
+        space = self._space(params)
+        objective = get_objective(
+            params["objective"], power_cap_watts=params["power_cap"]
+        )
+        problem = SearchProblem(
+            profiles, space, objective, engine=self.engine
+        )
+        trajectory = optimizer.search(problem, params["budget"])
+        # The canonical best (SearchTrajectory.best owns the tie-break
+        # rule) is exported once here; renderers must not re-derive it.
+        best = trajectory.best
+        return {
+            "space": space.name,
+            "space_size": space.size(),
+            "workloads": [p.name for p in profiles],
+            "optimizer": optimizer.name,
+            "seed": params["seed"],
+            "objective": objective.name,
+            "budget": params["budget"],
+            "best": {
+                "index": best.index,
+                "point": dict(best.point),
+                "fitness": best.fitness,
+                "config": space.config(best.point).name,
+            },
+            "trajectory": trajectory.as_dict(),
+        }
+
+    def _run_validate(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Model-vs-simulator validation campaign (thesis S7.4/S7.5)."""
+        from repro.explore.validate import (
+            ValidationCampaign,
+            ValidationCase,
+        )
+
+        space = self._space(params)
+        configs = space.configs()
+        if params["limit"] is not None:
+            configs = configs[:params["limit"]]
+        if not configs:
+            raise SpecError("empty configuration grid")
+        cases = []
+        for name in params["workloads"]:
+            profile = self.profile_workload(
+                name,
+                instructions=params["instructions"],
+                micro_trace=params["micro_trace"],
+                window=params["window"],
+                trace_seed=params["trace_seed"],
+            )
+            trace = self.trace(
+                name, params["instructions"], params["trace_seed"]
+            )
+            cases.append(ValidationCase(profile=profile, trace=trace))
+        workers = (self.workers if self.workers is not None
+                   else self.pool.effective_workers())
+        campaign = ValidationCampaign(
+            cases,
+            configs,
+            engine=self.engine,
+            model_workers=workers,
+            sim_workers=workers,
+            pool=self.pool,
+            train_fraction=params["train_fraction"],
+            seed=params["seed"],
+            space_name=space.name,
+        )
+        return campaign.run().as_dict()
+
+    def _run_dvfs(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """DVFS operating-point exploration and the ED2P optimum."""
+        from repro.core.machine import DVFSPoint, dvfs_vdd
+        from repro.explore.dvfs import (
+            best_under_power_cap,
+            config_at,
+            explore_dvfs,
+            optimal_ed2p,
+        )
+
+        profile = self._single_profile(params)
+        base = config_from_overrides(
+            width=params["width"],
+            rob=params["rob"],
+            llc_mb=params["llc_mb"],
+            frequency=params["frequency"],
+            prefetch=params["prefetch"],
+        )
+        points = None
+        if params["frequencies"] is not None:
+            points = [DVFSPoint(f, dvfs_vdd(f))
+                      for f in params["frequencies"]]
+        results = explore_dvfs(
+            profile, base, points=points, engine=self.engine
+        )
+        best = optimal_ed2p(results)
+        optimum_index = next(
+            i for i, r in enumerate(results) if r is best
+        )
+        power_cap = None
+        if params["power_cap"] is not None:
+            candidates = [(config_at(base, r.point), r.result)
+                          for r in results]
+            capped = best_under_power_cap(
+                candidates, params["power_cap"]
+            )
+            power_cap = {"watts": params["power_cap"]}
+            if capped is None:
+                power_cap["config"] = None
+            else:
+                config, result = capped
+                power_cap.update({
+                    "config": config.name,
+                    "seconds": result.seconds,
+                    "power_watts": result.power_watts,
+                })
+        return {
+            "workload": profile.name,
+            "base_config": base.name,
+            "points": [
+                {
+                    "frequency_ghz": r.point.frequency_ghz,
+                    "vdd": r.point.vdd,
+                    "seconds": r.seconds,
+                    "power_watts": r.power_watts,
+                    "energy_joules": r.energy_joules,
+                    "ed2p": r.ed2p,
+                }
+                for r in results
+            ],
+            "optimum_index": optimum_index,
+            "power_cap": power_cap,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; caches stay warm)."""
+        self.pool.close()
+
+    def __enter__(self) -> "Session":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the worker pool."""
+        self.close()

@@ -1,15 +1,14 @@
 """Command-line interface: profile, predict, simulate, sweep, search,
-validate, dvfs.
+validate, dvfs, run.
 
-Mirrors the released AIP/PMT workflow: ``profile`` writes a reusable
-profile file; ``predict`` evaluates the analytical model against it for a
-named or custom configuration; ``simulate`` runs the cycle-level
-reference; ``sweep`` explores a design space and reports the Pareto
-frontier; ``search`` runs a guided (random / hill / simulated-annealing
-/ genetic) optimizer over a declarative design space under an
-evaluation budget; ``validate`` runs model and simulator over the same
-grid and reports the thesis §7.4/§7.5 accuracy metrics; ``dvfs``
-explores DVFS operating points and the ED²P optimum.
+Every experiment subcommand is a thin adapter over the programmatic API
+(:mod:`repro.api`): it parses flags into a declarative
+:class:`~repro.api.spec.ExperimentSpec`, executes it on a
+:class:`~repro.api.session.Session`, and renders the unified
+:class:`~repro.api.results.RunResult` payload -- output is bitwise
+identical to the historical hand-wired implementations.  ``run``
+executes spec JSON files directly (one warm session for the whole
+campaign, with optional run-store skipping of already-computed specs).
 
 Examples::
 
@@ -30,6 +29,8 @@ Examples::
     python -m repro.cli validate gcc mcf --limit 64 --workers 4 \\
         --json report.json
     python -m repro.cli dvfs gcc.profile --power-cap 12
+    python -m repro.cli run sweep.json validate.json \\
+        --workers 4 --runs .run-store
 """
 
 from __future__ import annotations
@@ -37,58 +38,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
-from dataclasses import replace
 from typing import List, Optional
 
-from repro.caches.cache import CacheConfig
-from repro.core import AnalyticalModel, nehalem
-from repro.core.machine import DVFSPoint, MachineConfig, dvfs_vdd
-from repro.explore.dse import best_average_config
-from repro.explore.dvfs import (
-    best_under_power_cap,
-    config_at,
-    explore_dvfs,
-    optimal_ed2p,
+from repro.api import (
+    ExperimentSpec,
+    Session,
+    SpecError,
+    config_from_overrides,
 )
-from repro.explore.engine import SweepEngine
-from repro.explore.pareto import StreamingParetoFront
-from repro.explore.validate import ValidationCampaign
-from repro.explore.search import (
-    OBJECTIVES,
-    OPTIMIZERS,
-    SearchProblem,
-    get_objective,
-    make_optimizer,
-)
-from repro.explore.space import DesignSpace
-from repro.profiler import SamplingConfig, profile_application
-from repro.profiler.serialization import (
-    ProfileStore,
-    load_profile,
-    save_profile,
-)
+from repro.explore.search import OBJECTIVES, OPTIMIZERS
 from repro.simulator import simulate
 from repro.workloads import generate_trace, make_workload, workload_names
-
-
-def _config_from_args(args: argparse.Namespace) -> MachineConfig:
-    """Build a configuration from the reference core + CLI overrides."""
-    config = nehalem()
-    if args.width is not None:
-        config = replace(config, dispatch_width=args.width)
-    if args.rob is not None:
-        config = replace(config, rob_size=args.rob)
-    if args.llc_mb is not None:
-        config = replace(
-            config,
-            llc=CacheConfig(args.llc_mb << 20, 16, 64, latency=30),
-        )
-    if args.frequency is not None:
-        config = config.with_frequency(args.frequency)
-    if args.prefetch:
-        config = replace(config, prefetch=True)
-    return config
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +64,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="enable the stride prefetcher")
 
 
+def _error(message: str) -> int:
+    """Print one CLI error line to stderr and return exit code 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     for name in workload_names():
         print(name)
@@ -113,89 +79,70 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     duplicates = _duplicate_names(args.workloads)
     if duplicates:
-        print("error: duplicate workload name(s): "
-              + ", ".join(duplicates)
-              + " (profiles are keyed by workload name; duplicates "
-              "would silently collide)", file=sys.stderr)
-        return 2
+        return _error("duplicate workload name(s): "
+                      + ", ".join(duplicates)
+                      + " (profiles are keyed by workload name; "
+                      "duplicates would silently collide)")
     if args.output is None and args.store is None:
-        print("error: need -o/--output and/or --store", file=sys.stderr)
-        return 2
+        return _error("need -o/--output and/or --store")
     if args.output is not None and len(args.workloads) > 1:
-        print("error: -o/--output profiles exactly one workload; use "
-              "--store for batches", file=sys.stderr)
-        return 2
-    store = ProfileStore(args.store) if args.store else None
-    sampling = SamplingConfig(
-        args.micro_trace,
-        args.window,
+        return _error("-o/--output profiles exactly one workload; use "
+                      "--store for batches")
+    spec = ExperimentSpec(
+        "profile",
+        workloads=list(args.workloads),
+        output=args.output,
+        store=args.store,
+        instructions=args.instructions,
+        micro_trace=args.micro_trace,
+        window=args.window,
+        seed=args.seed,
         reuse_sample_rate=args.reuse_sample_rate,
         reuse_seed=args.reuse_seed,
     )
-    entries = []
-    for name in args.workloads:
-        started = time.perf_counter()
-        trace = generate_trace(
-            make_workload(name, seed=args.seed),
-            max_instructions=args.instructions,
-        )
-        profile = profile_application(trace, sampling)
-        key = None
-        if store is not None:
-            # put() + warm(): the profile and its StatStack tables land
-            # on disk, so later sweep/search/validate runs start warm.
-            key = store.warm(profile)
-        if args.output:
-            save_profile(profile, args.output)
-        seconds = time.perf_counter() - started
+    with Session() as session:
+        result = session.run(spec)
+    for entry in result.data["profiles"]:
         destinations = [d for d in (
-            args.output,
-            f"store:{key[:12]}" if key else None,
+            entry["output"],
+            f"store:{entry['fingerprint'][:12]}"
+            if entry["fingerprint"] else None,
         ) if d]
-        print(f"profiled {profile.num_instructions} instructions of "
-              f"{profile.name} ({len(profile.micro_traces)} "
+        print(f"profiled {entry['instructions']} instructions of "
+              f"{entry['workload']} ({entry['micro_traces']} "
               f"micro-traces) -> {', '.join(destinations)}")
-        entries.append({
-            "workload": name,
-            "instructions": profile.num_instructions,
-            "micro_traces": len(profile.micro_traces),
-            "fingerprint": key,
-            "output": args.output,
-            "seconds": round(seconds, 6),
-        })
     if args.json:
-        report = {
-            "store": args.store,
-            "sampling": {
-                "micro_trace_length": sampling.micro_trace_length,
-                "window_length": sampling.window_length,
-                "reuse_sample_rate": sampling.reuse_sample_rate,
-                "reuse_seed": sampling.reuse_seed,
-            },
-            "trace_seed": args.seed,
-            "profiles": entries,
-        }
         with open(args.json, "w") as handle:
-            json.dump(report, handle, indent=2)
+            json.dump(result.data, handle, indent=2)
         print(f"report -> {args.json}")
     return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    profile = load_profile(args.profile)
-    config = _config_from_args(args)
-    model = AnalyticalModel(mlp_model=args.mlp_model)
-    result = model.predict(profile, config)
-    print(f"workload:  {profile.name}")
-    print(f"config:    {config.name}")
-    print(f"CPI:       {result.cpi:.3f}   (IPC {1 / result.cpi:.3f})")
-    print(f"time:      {result.seconds * 1e3:.3f} ms")
-    print(f"power:     {result.power_watts:.2f} W "
-          f"(static {result.power.static_total:.2f} W)")
-    print(f"energy:    {result.energy_joules * 1e3:.3f} mJ   "
-          f"EDP {result.edp:.3e}   ED2P {result.ed2p:.3e}")
+    spec = ExperimentSpec(
+        "predict",
+        profile=args.profile,
+        mlp_model=args.mlp_model,
+        width=args.width,
+        rob=args.rob,
+        llc_mb=args.llc_mb,
+        frequency=args.frequency,
+        prefetch=args.prefetch,
+    )
+    with Session() as session:
+        data = session.run(spec).data
+    print(f"workload:  {data['workload']}")
+    print(f"config:    {data['config']}")
+    print(f"CPI:       {data['cpi']:.3f}   "
+          f"(IPC {1 / data['cpi']:.3f})")
+    print(f"time:      {data['seconds'] * 1e3:.3f} ms")
+    print(f"power:     {data['power_watts']:.2f} W "
+          f"(static {data['power_static_watts']:.2f} W)")
+    print(f"energy:    {data['energy_joules'] * 1e3:.3f} mJ   "
+          f"EDP {data['edp']:.3e}   ED2P {data['ed2p']:.3e}")
     print("CPI stack: " + "  ".join(
-        f"{key}={value:.3f}" for key, value in result.cpi_stack().items()
+        f"{key}={value:.3f}"
+        for key, value in data["cpi_stack"].items()
     ))
     return 0
 
@@ -205,7 +152,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         make_workload(args.workload, seed=args.seed),
         max_instructions=args.instructions,
     )
-    config = _config_from_args(args)
+    config = config_from_overrides(
+        width=args.width,
+        rob=args.rob,
+        llc_mb=args.llc_mb,
+        frequency=args.frequency,
+        prefetch=args.prefetch,
+    )
     result = simulate(trace, config)
     print(f"workload:  {trace.name}")
     print(f"config:    {config.name}")
@@ -220,133 +173,99 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_space(path: Optional[str]) -> DesignSpace:
-    """The declarative space from a JSON file, or the Table 6.3 grid."""
-    if path:
-        return DesignSpace.load(path)
-    return DesignSpace.default()
-
-
 def _duplicate_names(names: List[str]) -> List[str]:
     """Names appearing more than once (results are keyed on them)."""
     return sorted({name for name in names if names.count(name) > 1})
 
 
-def _limited_configs(space, limit: Optional[int]):
-    """The space's config list truncated to ``limit``, or ``None`` on a
-    negative limit (the caller reports the error)."""
-    configs = space.configs()
-    if limit is None:
-        return configs
-    if limit < 0:
-        return None
-    return configs[:limit]
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
-    profiles = [load_profile(path) for path in args.profiles]
-    duplicates = _duplicate_names([p.name for p in profiles])
-    if duplicates:
-        print("error: duplicate profile name(s): "
-              + ", ".join(duplicates)
-              + " (results are keyed by workload name; profiles would "
-              "silently merge)", file=sys.stderr)
-        return 2
-    space = _load_space(args.space)
-    configs = _limited_configs(space, args.limit)
-    if configs is None:
-        print("error: --limit must be >= 0", file=sys.stderr)
-        return 2
-    store = ProfileStore(args.cache) if args.cache else None
-    engine = SweepEngine(workers=args.workers, store=store)
-
-    # Stream the sweep: Pareto frontiers fold incrementally per
-    # workload, so partial results are usable the moment they arrive.
-    frontiers = {p.name: StreamingParetoFront() for p in profiles}
-    results = {p.name: [] for p in profiles}
-    for point in engine.iter_sweep(profiles, configs):
-        results[point.workload].append(point)
-        frontiers[point.workload].add_point(point)
-
-    for profile in profiles:
-        points = results[profile.name]
-        frontier = frontiers[profile.name].frontier()
-        print(f"{profile.name}: {len(points)} designs evaluated; "
-              f"{len(frontier)} Pareto-optimal:")
-        for _, _, point in frontier:
-            print(f"  {point.config.name:<32s} "
-                  f"{point.seconds * 1e6:9.1f} us "
-                  f"{point.power_watts:7.2f} W  CPI {point.cpi:5.2f}")
-    if not configs:
-        return 0
-    if args.objective:
-        objective = get_objective(args.objective)
-        best = best_average_config(results, metric=objective.metric)
-        print(f"best average config ({objective.name}): {best}")
-    elif len(profiles) > 1:
-        # Historical default: rank by average CPI.
-        print(f"best average config: {best_average_config(results)}")
+    try:
+        spec = ExperimentSpec(
+            "sweep",
+            profiles=list(args.profiles),
+            space=args.space,
+            objective=args.objective,
+            limit=args.limit,
+        )
+        with Session(workers=args.workers,
+                     profile_store=args.cache) as session:
+            data = session.run(spec).data
+    except SpecError as exc:
+        return _error(str(exc))
+    for w in data["workloads"]:
+        print(f"{w['workload']}: {len(w['points'])} designs evaluated; "
+              f"{len(w['frontier'])} Pareto-optimal:")
+        for p in w["frontier"]:
+            print(f"  {p['config']:<32s} "
+                  f"{p['seconds'] * 1e6:9.1f} us "
+                  f"{p['power_watts']:7.2f} W  CPI {p['cpi']:5.2f}")
+    best = data["best_average"]
+    if best is not None:
+        if best["objective"]:
+            print(f"best average config ({best['objective']}): "
+                  f"{best['config']}")
+        else:
+            print(f"best average config: {best['config']}")
     return 0
 
 
 def cmd_search(args: argparse.Namespace) -> int:
     # Argument-only validation first, before any profile I/O.
-    kwargs = {}
-    if args.population is not None:
-        if args.optimizer != "ga":
-            print("error: --population only applies to --optimizer ga",
-                  file=sys.stderr)
-            return 2
-        kwargs["population"] = args.population
-    if args.batch_size is not None:
-        if args.optimizer == "ga":
-            print("error: use --population for the GA batch size",
-                  file=sys.stderr)
-            return 2
-        kwargs["batch_size"] = args.batch_size
-    optimizer = make_optimizer(args.optimizer, seed=args.seed, **kwargs)
-
-    profiles = [load_profile(path) for path in args.profiles]
-    space = _load_space(args.space)
-    objective = get_objective(args.objective,
-                              power_cap_watts=args.power_cap)
-    store = ProfileStore(args.cache) if args.cache else None
-    engine = SweepEngine(workers=args.workers, store=store)
-    problem = SearchProblem(profiles, space, objective, engine=engine)
-
-    trajectory = optimizer.search(problem, args.budget)
-    size = space.size()
-    evaluated = len(trajectory)
-    workloads = ", ".join(p.name for p in profiles)
-    print(f"space:       {space.name} ({size} valid configurations)")
-    print(f"workloads:   {workloads}")
-    print(f"optimizer:   {optimizer.name} (seed {args.seed})")
-    print(f"objective:   {objective.name} (minimized, averaged over "
-          f"{len(profiles)} workload(s))")
+    if args.population is not None and args.optimizer != "ga":
+        return _error("--population only applies to --optimizer ga")
+    if args.batch_size is not None and args.optimizer == "ga":
+        return _error("use --population for the GA batch size")
+    try:
+        spec = ExperimentSpec(
+            "search",
+            profiles=list(args.profiles),
+            space=args.space,
+            optimizer=args.optimizer,
+            objective=args.objective,
+            power_cap=args.power_cap,
+            budget=args.budget,
+            seed=args.seed,
+            population=args.population,
+            batch_size=args.batch_size,
+        )
+        with Session(workers=args.workers,
+                     profile_store=args.cache) as session:
+            data = session.run(spec).data
+    except SpecError as exc:
+        return _error(str(exc))
+    trajectory = data["trajectory"]
+    evaluations = trajectory["evaluations"]
+    evaluated = len(evaluations)
+    size = data["space_size"]
+    print(f"space:       {data['space']} ({size} valid configurations)")
+    print(f"workloads:   {', '.join(data['workloads'])}")
+    print(f"optimizer:   {data['optimizer']} (seed {data['seed']})")
+    print(f"objective:   {data['objective']} (minimized, averaged over "
+          f"{len(data['workloads'])} workload(s))")
     print(f"evaluated:   {evaluated} configs "
           f"({100.0 * evaluated / size:.1f}% of the space, budget "
-          f"{args.budget}) in {trajectory.wall_seconds:.2f} s")
-    best = trajectory.best
-    point_text = " ".join(f"{k}={v}" for k, v in best.point.items())
-    print(f"best {objective.name}: {best.fitness:.6e} "
-          f"(found at evaluation {best.index + 1})")
+          f"{data['budget']}) in {trajectory['wall_seconds']:.2f} s")
+    best = data["best"]
+    point_text = " ".join(f"{k}={v}" for k, v in best["point"].items())
+    print(f"best {data['objective']}: {best['fitness']:.6e} "
+          f"(found at evaluation {best['index'] + 1})")
     print(f"best point:  {point_text}")
-    print(f"best config: {space.config(best.point).name}")
+    print(f"best config: {best['config']}")
     improvements = []
     best_so_far = None
-    for evaluation in trajectory.evaluations:
-        if best_so_far is None or evaluation.fitness < best_so_far:
-            best_so_far = evaluation.fitness
+    for evaluation in evaluations:
+        if best_so_far is None or evaluation["fitness"] < best_so_far:
+            best_so_far = evaluation["fitness"]
             improvements.append(evaluation)
     shown = improvements[-8:]
     print(f"best-so-far curve ({len(improvements)} improvements, "
           f"last {len(shown)} shown):")
     for evaluation in shown:
-        print(f"  eval {evaluation.index + 1:>5d}: "
-              f"{evaluation.fitness:.6e}")
+        print(f"  eval {evaluation['index'] + 1:>5d}: "
+              f"{evaluation['fitness']:.6e}")
     if args.trajectory:
         with open(args.trajectory, "w") as handle:
-            json.dump(trajectory.as_dict(), handle, indent=2)
+            json.dump(trajectory, handle, indent=2)
         print(f"trajectory -> {args.trajectory}")
     return 0
 
@@ -354,81 +273,108 @@ def cmd_search(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     duplicates = _duplicate_names(args.workloads)
     if duplicates:
-        print("error: duplicate workload name(s): "
-              + ", ".join(duplicates), file=sys.stderr)
-        return 2
-    if not 0.0 <= args.train_fraction < 1.0:
-        print("error: --train-fraction must be in [0, 1)",
-              file=sys.stderr)
-        return 2
-    space = _load_space(args.space)
-    configs = _limited_configs(space, args.limit)
-    if configs is None:
-        print("error: --limit must be >= 0", file=sys.stderr)
-        return 2
-    if not configs:
-        print("error: empty configuration grid", file=sys.stderr)
-        return 2
-    sampling = SamplingConfig(args.micro_trace, args.window)
-    campaign = ValidationCampaign.from_workloads(
-        args.workloads,
-        configs,
-        instructions=args.instructions,
-        sampling=sampling,
-        trace_seed=args.trace_seed,
-        model_workers=args.workers,
-        sim_workers=args.workers,
-        train_fraction=args.train_fraction,
-        seed=args.seed,
-        space_name=space.name,
-    )
-    report = campaign.run()
-    print("\n".join(report.summary_lines()))
+        return _error("duplicate workload name(s): "
+                      + ", ".join(duplicates))
+    try:
+        spec = ExperimentSpec(
+            "validate",
+            workloads=list(args.workloads),
+            space=args.space,
+            limit=args.limit,
+            instructions=args.instructions,
+            micro_trace=args.micro_trace,
+            window=args.window,
+            trace_seed=args.trace_seed,
+            train_fraction=args.train_fraction,
+            seed=args.seed,
+        )
+        with Session(workers=args.workers) as session:
+            data = session.run(spec).data
+    except SpecError as exc:
+        return _error(str(exc))
+    # The payload is ValidationReport.as_dict(); re-render it through
+    # the one canonical formatter instead of duplicating it here.
+    from repro.explore.validate import ValidationReport
+
+    print("\n".join(ValidationReport.from_dict(data).summary_lines()))
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(report.as_dict(), handle, indent=2)
+            json.dump(data, handle, indent=2)
         print(f"report -> {args.json}")
     return 0
 
 
 def cmd_dvfs(args: argparse.Namespace) -> int:
-    profile = load_profile(args.profile)
-    base = _config_from_args(args)
-    points = None
+    frequencies = None
     if args.frequencies:
         try:
             frequencies = [float(text)
                            for text in args.frequencies.split(",")]
         except ValueError:
-            print(f"error: --frequencies must be comma-separated "
-                  f"numbers, got {args.frequencies!r}", file=sys.stderr)
-            return 2
-        points = [DVFSPoint(frequency, dvfs_vdd(frequency))
-                  for frequency in frequencies]
-    engine = (SweepEngine(workers=args.workers)
-              if args.workers > 1 else None)
-    results = explore_dvfs(profile, base, points=points, engine=engine)
-    best = optimal_ed2p(results)
-    print(f"workload: {profile.name}   base: {base.name}")
-    for result in results:
-        marker = "   <- ED2P optimum" if result is best else ""
-        print(f"  {result.point.frequency_ghz:5.2f} GHz "
-              f"@{result.point.vdd:.2f} V  "
-              f"{result.seconds * 1e3:8.3f} ms  "
-              f"{result.power_watts:6.2f} W  "
-              f"{result.energy_joules * 1e3:8.3f} mJ  "
-              f"ED2P {result.ed2p:.3e}{marker}")
-    if args.power_cap is not None:
-        candidates = [(config_at(base, result.point), result.result)
-                      for result in results]
-        capped = best_under_power_cap(candidates, args.power_cap)
-        if capped is None:
-            print(f"no operating point fits {args.power_cap:.1f} W")
+            return _error(f"--frequencies must be comma-separated "
+                          f"numbers, got {args.frequencies!r}")
+    try:
+        spec = ExperimentSpec(
+            "dvfs",
+            profile=args.profile,
+            frequencies=frequencies,
+            power_cap=args.power_cap,
+            width=args.width,
+            rob=args.rob,
+            llc_mb=args.llc_mb,
+            frequency=args.frequency,
+            prefetch=args.prefetch,
+        )
+        with Session(workers=args.workers) as session:
+            data = session.run(spec).data
+    except SpecError as exc:
+        return _error(str(exc))
+    print(f"workload: {data['workload']}   base: {data['base_config']}")
+    for index, p in enumerate(data["points"]):
+        marker = ("   <- ED2P optimum"
+                  if index == data["optimum_index"] else "")
+        print(f"  {p['frequency_ghz']:5.2f} GHz "
+              f"@{p['vdd']:.2f} V  "
+              f"{p['seconds'] * 1e3:8.3f} ms  "
+              f"{p['power_watts']:6.2f} W  "
+              f"{p['energy_joules'] * 1e3:8.3f} mJ  "
+              f"ED2P {p['ed2p']:.3e}{marker}")
+    cap = data["power_cap"]
+    if cap is not None:
+        if cap["config"] is None:
+            print(f"no operating point fits {cap['watts']:.1f} W")
         else:
-            config, result = capped
-            print(f"fastest under {args.power_cap:.1f} W: {config.name} "
-                  f"({result.seconds * 1e3:.3f} ms, "
-                  f"{result.power_watts:.2f} W)")
+            print(f"fastest under {cap['watts']:.1f} W: {cap['config']} "
+                  f"({cap['seconds'] * 1e3:.3f} ms, "
+                  f"{cap['power_watts']:.2f} W)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    specs = []
+    for path in args.specs:
+        try:
+            specs.append(ExperimentSpec.load(path))
+        except (OSError, ValueError) as exc:
+            return _error(f"{path}: {exc}")
+    try:
+        with Session(workers=args.workers,
+                     profile_store=args.store,
+                     run_store=args.runs) as session:
+            results = session.run_many(specs)
+    except SpecError as exc:
+        return _error(str(exc))
+    for path, result in zip(args.specs, results):
+        status = "cached" if result.cached else "ran"
+        print(f"{status:<6} {result.kind:<9} "
+              f"[{result.spec_fingerprint[:12]}] {path}")
+    computed = sum(1 for r in results if not r.cached)
+    print(f"{len(results)} spec(s): {computed} computed, "
+          f"{len(results) - computed} from run store")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([r.to_dict() for r in results], handle, indent=2)
+        print(f"results -> {args.json}")
     return 0
 
 
@@ -589,10 +535,32 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="WATTS",
                      help="also report the fastest point under this cap")
     sub.add_argument("--workers", type=int, default=1,
-                     help="evaluate the grid through a SweepEngine "
-                          "with this many workers (1 = local loop)")
+                     help="evaluate the grid through the session's "
+                          "SweepEngine with this many workers "
+                          "(1 = serial)")
     _add_config_arguments(sub)
     sub.set_defaults(func=cmd_dvfs)
+
+    sub = subparsers.add_parser(
+        "run",
+        help="execute declarative ExperimentSpec JSON file(s) on one "
+             "warm session")
+    sub.add_argument("specs", nargs="+", metavar="spec.json",
+                     help="ExperimentSpec JSON files (kind: profile | "
+                          "predict | sweep | search | validate | dvfs)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes shared by every stage "
+                          "(1 = serial)")
+    sub.add_argument("--store", default=None, metavar="DIR",
+                     help="ProfileStore directory shared by every "
+                          "stage (warmed StatStack tables)")
+    sub.add_argument("--runs", default=None, metavar="DIR",
+                     help="RunStore directory: cache results by spec "
+                          "fingerprint and skip already-computed specs")
+    sub.add_argument("--json", default=None, metavar="OUT.json",
+                     help="write every RunResult artifact as one JSON "
+                          "list")
+    sub.set_defaults(func=cmd_run)
 
     return parser
 

@@ -103,9 +103,25 @@ def evaluate_design_space(
     -------
     dict of str to list of DesignPoint
         Per-workload design points, in configuration order.
+
+    .. deprecated:: 1.1
+        Use :class:`repro.api.Session` (``Session.run`` with a
+        ``sweep`` :class:`~repro.api.spec.ExperimentSpec`) or
+        :meth:`repro.explore.engine.SweepEngine.sweep` directly; both
+        share caches and worker pools across calls instead of
+        rebuilding them here.
     """
+    import warnings
+
     from repro.explore.engine import SweepEngine
 
+    warnings.warn(
+        "evaluate_design_space() is deprecated; use "
+        "repro.api.Session.run(ExperimentSpec('sweep', ...)) or "
+        "repro.explore.engine.SweepEngine.sweep() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     engine = SweepEngine(
         model=model, workers=workers, store=store, progress=progress
     )

@@ -85,6 +85,23 @@ def _run_batch(task: Tuple[int, int, int]) -> List[ModelResult]:
     return [model.predict(profile, c) for c in configs[start:stop]]
 
 
+def _run_shared_batch(state, task: Tuple[int, int, int]):
+    """Evaluate one batch against :class:`~repro.api.pool.WorkerPool`
+    shared state (``(model, profiles, configs)``).
+
+    The state object persists inside the worker for the whole sweep, so
+    attaching a :class:`~repro.core.interval.ModelCache` on the first
+    batch gives every later batch of the same sweep a warm cache --
+    exactly what :func:`_init_worker` does for per-call pools.
+    """
+    model, profiles, configs = state
+    if model.cache is None:
+        model.cache = ModelCache()
+    profile_index, start, stop = task
+    profile = profiles[profile_index]
+    return [model.predict(profile, c) for c in configs[start:stop]]
+
+
 class SweepEngine:
     """Evaluates (profiles x configs) grids in batches, optionally parallel.
 
@@ -112,6 +129,13 @@ class SweepEngine:
         its StatStack stack-distance tables are loaded from (or saved
         to) disk, making repeated sweeps over the same profiles start
         warm.
+    pool:
+        Optional externally-owned :class:`~repro.api.pool.WorkerPool`.
+        When given, parallel sweeps run on that persistent pool
+        (shared with other stages of a
+        :class:`~repro.api.session.Session`) instead of creating a
+        ``multiprocessing.Pool`` per call; results are bitwise
+        identical.  The pool is never closed by the engine.
     progress:
         Optional ``progress(done, total)`` callback invoked after every
         design point.
@@ -130,12 +154,14 @@ class SweepEngine:
         workers: Optional[int] = None,
         batch_size: Optional[int] = None,
         store: Optional[ProfileStore] = None,
+        pool=None,
         progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.model = model if model is not None else AnalyticalModel()
         self.workers = workers
         self.batch_size = batch_size
         self.store = store
+        self.pool = pool
         self.progress = progress
         # id -> (profile, store key): profiles already prepared by this
         # engine (the profile reference pins the id against reuse).
@@ -286,6 +312,10 @@ class SweepEngine:
     ) -> Iterator["DesignPoint"]:
         from repro.explore.dse import DesignPoint
 
+        if self.pool is not None:
+            yield from self._iter_shared(profiles, configs)
+            return
+
         try:
             import multiprocessing
         except ImportError:
@@ -330,3 +360,52 @@ class SweepEngine:
                         config=configs[start + offset],
                         result=result,
                     )
+
+    def _iter_shared(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator["DesignPoint"]:
+        """The parallel path on an externally-owned persistent pool.
+
+        Ships ``(model-without-cache, profiles, configs)`` as the
+        stage's shared state (pickled once, installed per worker at
+        most once) and streams batches back in submission order, so
+        results are bitwise identical to :meth:`_iter_parallel`.
+        Platforms without working process support fall back to serial.
+        """
+        from repro.api.pool import WorkerPoolError
+        from repro.explore.dse import DesignPoint
+
+        tasks = self._batches(len(profiles), len(configs))
+        # Ship the model without its cache (workers attach their own);
+        # restore the parent's cache afterwards.
+        cache = self.model.cache
+        self.model.cache = None
+        try:
+            stream = self.pool.imap(
+                _run_shared_batch,
+                (self.model, list(profiles), list(configs)),
+                tasks,
+            )
+        except WorkerPoolError:
+            self.model.cache = cache
+            yield from self._iter_serial(profiles, configs)
+            return
+        finally:
+            if self.model.cache is None:
+                self.model.cache = cache
+
+        total = len(profiles) * len(configs)
+        done = 0
+        for (profile_index, start, _), results in zip(tasks, stream):
+            name = profiles[profile_index].name
+            for offset, result in enumerate(results):
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total)
+                yield DesignPoint(
+                    workload=name,
+                    config=configs[start + offset],
+                    result=result,
+                )

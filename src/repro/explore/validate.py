@@ -97,6 +97,15 @@ def _run_sim_batch(task: Tuple[int, int, int]) -> List[SimulationResult]:
     return [simulate(trace, config) for config in configs[start:stop]]
 
 
+def _run_shared_sim_batch(state, task: Tuple[int, int, int]):
+    """Simulate one batch against :class:`~repro.api.pool.WorkerPool`
+    shared state (``(traces, configs)``)."""
+    traces, configs = state
+    trace_index, start, stop = task
+    trace = traces[trace_index]
+    return [simulate(trace, config) for config in configs[start:stop]]
+
+
 @dataclass
 class SimulatedPoint:
     """One simulated (workload, configuration) evaluation.
@@ -169,6 +178,13 @@ class SimulationSweep:
     batch_size:
         Configurations per worker task; defaults to roughly a quarter
         of the per-worker share.
+    pool:
+        Optional externally-owned :class:`~repro.api.pool.WorkerPool`.
+        When given, parallel sweeps run on that persistent pool
+        (shared with the model-side engine and any other stage of a
+        :class:`~repro.api.session.Session`) instead of creating a
+        ``multiprocessing.Pool`` per call; results are bitwise
+        identical and the pool is never closed by the sweep.
     progress:
         Optional ``progress(done, total)`` callback invoked after every
         simulated point.
@@ -184,10 +200,12 @@ class SimulationSweep:
         self,
         workers: Optional[int] = None,
         batch_size: Optional[int] = None,
+        pool=None,
         progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.workers = workers
         self.batch_size = batch_size
+        self.pool = pool
         self.progress = progress
 
     def effective_workers(self) -> int:
@@ -268,6 +286,10 @@ class SimulationSweep:
         traces: Sequence[Trace],
         configs: Sequence[MachineConfig],
     ) -> Iterator[SimulatedPoint]:
+        if self.pool is not None:
+            yield from self._iter_shared(traces, configs)
+            return
+
         try:
             import multiprocessing
         except ImportError:
@@ -302,6 +324,44 @@ class SimulationSweep:
                     yield self._fold(
                         trace, configs[start + offset], result
                     )
+
+    def _iter_shared(
+        self,
+        traces: Sequence[Trace],
+        configs: Sequence[MachineConfig],
+    ) -> Iterator[SimulatedPoint]:
+        """The parallel path on an externally-owned persistent pool.
+
+        Traces still ship columnar (``Trace`` pickles as its
+        :class:`~repro.workloads.columns.TraceColumns` arrays) -- they
+        are part of the stage's shared state, pickled once and
+        installed per worker at most once.  Platforms without working
+        process support fall back to serial.
+        """
+        from repro.api.pool import WorkerPoolError
+
+        tasks = self._batches(len(traces), len(configs))
+        try:
+            stream = self.pool.imap(
+                _run_shared_sim_batch,
+                (list(traces), list(configs)),
+                tasks,
+            )
+        except WorkerPoolError:
+            yield from self._iter_serial(traces, configs)
+            return
+
+        total = len(traces) * len(configs)
+        done = 0
+        for (trace_index, start, _), results in zip(tasks, stream):
+            trace = traces[trace_index]
+            for offset, result in enumerate(results):
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total)
+                yield self._fold(
+                    trace, configs[start + offset], result
+                )
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +411,26 @@ def _metrics_dict(metrics: ParetoMetrics) -> Dict[str, float]:
     }
 
 
+def _stats_from_dict(data: Dict[str, float]) -> ErrorStats:
+    """Rebuild an :class:`ErrorStats` summary from :func:`_stats_dict`
+    output (the per-item detail is not serialized)."""
+    return ErrorStats(
+        mean=data["mean"], maximum=data["max"], count=data["count"]
+    )
+
+
+def _metrics_from_dict(data: Dict[str, float]) -> ParetoMetrics:
+    """Rebuild a :class:`ParetoMetrics` from :func:`_metrics_dict`."""
+    return ParetoMetrics(
+        sensitivity=data["sensitivity"],
+        specificity=data["specificity"],
+        accuracy=data["accuracy"],
+        hvr=data["hvr"],
+        true_front_size=data["true_front_size"],
+        predicted_front_size=data["predicted_front_size"],
+    )
+
+
 @dataclass
 class BaselineComparison:
     """Mechanistic vs empirical model on held-out designs (§7.5).
@@ -382,6 +462,23 @@ class BaselineComparison:
                 "pareto": _metrics_dict(self.empirical_metrics),
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BaselineComparison":
+        """Rebuild a comparison from :meth:`as_dict` output."""
+        mechanistic = data["mechanistic"]
+        empirical = data["empirical"]
+        return cls(
+            train_size=data["train_size"],
+            holdout_size=data["holdout_size"],
+            mechanistic_cpi_error=_stats_from_dict(
+                mechanistic["cpi_error"]),
+            empirical_cpi_error=_stats_from_dict(
+                empirical["cpi_error"]),
+            mechanistic_metrics=_metrics_from_dict(
+                mechanistic["pareto"]),
+            empirical_metrics=_metrics_from_dict(empirical["pareto"]),
+        )
 
 
 @dataclass
@@ -416,6 +513,23 @@ class WorkloadValidation:
             data["baseline"] = self.baseline.as_dict()
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadValidation":
+        """Rebuild a record from :meth:`as_dict` output."""
+        baseline = data.get("baseline")
+        return cls(
+            workload=data["workload"],
+            n_configs=data["n_configs"],
+            instructions=data["instructions"],
+            cpi_error=_stats_from_dict(data["cpi_error"]),
+            seconds_error=_stats_from_dict(data["seconds_error"]),
+            power_error=_stats_from_dict(data["power_error"]),
+            stack_error=dict(data["cpi_stack_error"]),
+            metrics=_metrics_from_dict(data["pareto"]),
+            baseline=(BaselineComparison.from_dict(baseline)
+                      if baseline is not None else None),
+        )
+
 
 @dataclass
 class ValidationReport:
@@ -440,6 +554,26 @@ class ValidationReport:
             "seed": self.seed,
             "workloads": [w.as_dict() for w in self.workloads],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ValidationReport":
+        """Rebuild a report from :meth:`as_dict` output.
+
+        Lossless for everything :meth:`summary_lines` consumes (only
+        the non-serialized per-design error detail is absent), so a
+        report payload can be re-rendered anywhere -- this is what the
+        CLI does with :class:`~repro.api.session.Session` payloads.
+        """
+        return cls(
+            space_name=data["space"],
+            n_configs=data["n_configs"],
+            model_workers=data["model_workers"],
+            sim_workers=data["sim_workers"],
+            train_fraction=data["train_fraction"],
+            seed=data["seed"],
+            workloads=[WorkloadValidation.from_dict(w)
+                       for w in data["workloads"]],
+        )
 
     def summary_lines(self) -> List[str]:
         """The human-readable report, one line per list entry."""
@@ -532,6 +666,12 @@ class ValidationCampaign:
         Worker processes for the model and simulator sides.
         ``sim_workers`` defaults to ``model_workers`` -- simulation is
         the slow side, so that is where parallelism pays.
+    pool:
+        Optional externally-owned :class:`~repro.api.pool.WorkerPool`
+        shared by both sides: the default engine and the simulation
+        sweep then reuse one persistent pool instead of creating one
+        ``multiprocessing.Pool`` each.  An explicitly passed ``engine``
+        keeps whatever pool configuration it already has.
     train_fraction:
         Fraction of the grid used to train the §7.5 empirical baseline
         (seeded subsample of *simulated* results); the comparison is
@@ -565,6 +705,7 @@ class ValidationCampaign:
         model_workers: int = 1,
         sim_workers: Optional[int] = None,
         batch_size: Optional[int] = None,
+        pool=None,
         train_fraction: float = 0.25,
         seed: int = 0,
         space_name: Optional[str] = None,
@@ -604,11 +745,12 @@ class ValidationCampaign:
             sim_progress = lambda d, t: progress("simulator", d, t)
         self.engine = engine if engine is not None else SweepEngine(
             model=model, workers=model_workers,
-            batch_size=batch_size, progress=model_progress,
+            batch_size=batch_size, pool=pool,
+            progress=model_progress,
         )
         self.simulation = SimulationSweep(
             workers=self.sim_workers, batch_size=batch_size,
-            progress=sim_progress,
+            pool=pool, progress=sim_progress,
         )
 
     @classmethod

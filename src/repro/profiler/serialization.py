@@ -312,6 +312,31 @@ def load_profile(file: Union[str, IO[str]]) -> ApplicationProfile:
 # ----------------------------------------------------------------------
 
 
+def canonical_fingerprint(data: Any) -> str:
+    """SHA-256 over the canonical JSON form of ``data``.
+
+    The canonical form sorts keys and strips whitespace, so two
+    structures with identical content hash identically regardless of
+    construction order.  This is the one content-addressing primitive
+    shared by every on-disk store in the project: the
+    :class:`ProfileStore` here, and the experiment-level
+    :class:`~repro.api.runstore.RunStore` /
+    :class:`~repro.api.spec.ExperimentSpec` fingerprints.
+
+    Parameters
+    ----------
+    data:
+        Any JSON-serializable structure.
+
+    Returns
+    -------
+    str
+        A 64-character lowercase hex digest.
+    """
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def profile_fingerprint(profile: ApplicationProfile) -> str:
     """Content hash of a profile (SHA-256 over its canonical JSON form).
 
@@ -330,10 +355,7 @@ def profile_fingerprint(profile: ApplicationProfile) -> str:
     str
         A 64-character lowercase hex digest.
     """
-    canonical = json.dumps(
-        profile_to_dict(profile), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return canonical_fingerprint(profile_to_dict(profile))
 
 
 class ProfileStore:

@@ -7,9 +7,9 @@ Used by CI next to the test suite; run locally with::
 
     python tools/lint_docs.py
 
-Checked by default: ``src/repro/explore/`` and ``src/repro/core/model.py``
-(the packages the documentation pass guarantees); pass paths to check
-others.
+Checked by default: ``src/repro/explore/``, ``src/repro/api/`` and
+``src/repro/core/model.py`` (the packages the documentation pass
+guarantees); pass paths to check others.
 """
 
 import ast
@@ -18,6 +18,7 @@ from pathlib import Path
 
 DEFAULT_TARGETS = [
     "src/repro/explore",
+    "src/repro/api",
     "src/repro/core/model.py",
 ]
 
