@@ -139,6 +139,12 @@ class Session:
         Optional base :class:`AnalyticalModel`; a default-configured
         one is built when omitted.  A :class:`ModelCache` is attached
         (if absent) and kept warm for the session's lifetime.
+    model_backend:
+        Evaluation backend for model sweeps: ``"batch"`` (vectorized),
+        ``"scalar"`` (per-config reference loop) or ``None`` for the
+        ``REPRO_MODEL_BACKEND`` environment default.  Results are
+        bitwise identical across backends, so the choice is not part
+        of experiment fingerprints.
 
     Examples
     --------
@@ -153,6 +159,7 @@ class Session:
         profile_store: Union[ProfileStore, str, None] = None,
         run_store: Union[RunStore, str, None] = None,
         model: Optional[AnalyticalModel] = None,
+        model_backend: Optional[str] = None,
     ) -> None:
         if isinstance(profile_store, str):
             profile_store = ProfileStore(profile_store)
@@ -161,6 +168,7 @@ class Session:
         self.workers = workers
         self.profile_store = profile_store
         self.run_store = run_store
+        self.model_backend = model_backend
 
         base = model if model is not None else AnalyticalModel()
         if base.cache is None:
@@ -178,6 +186,7 @@ class Session:
             workers=workers,
             store=profile_store,
             pool=self.pool,
+            backend=model_backend,
         )
         # Lazily-profiled workload registry: traces by
         # (name, instructions, trace_seed); profiles by the full

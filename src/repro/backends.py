@@ -1,0 +1,82 @@
+"""Backend-name registry and validation shared by profiler and model.
+
+Two layers of the stack keep a vectorized fast path next to a scalar
+reference path behind a ``backend=`` switch:
+
+* profiling: :func:`repro.profiler.profile.profile_application`
+  (``"columns"`` / ``"scalar"``, PR 4);
+* the analytical model: :meth:`repro.core.model.AnalyticalModel.predict_batch`
+  (``"batch"`` / ``"scalar"``).
+
+Both paths are bitwise identical by contract (pinned by
+``tests/equivalence.py``), so the switch is purely a performance lever.
+This module is the single place backend names are declared and
+validated, so every entry point rejects unknown names with the same
+error *before* doing any work.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Tuple
+
+#: Profiling backends, fastest first (the first entry is the default).
+PROFILE_BACKENDS: Tuple[str, ...] = ("columns", "scalar")
+
+#: Analytical-model backends, fastest first.
+MODEL_BACKENDS: Tuple[str, ...] = ("batch", "scalar")
+
+#: Environment variable overriding the default model backend (used by CI
+#: to run the full suite against the scalar reference path).
+MODEL_BACKEND_ENV = "REPRO_MODEL_BACKEND"
+
+
+def validate_backend(name: str, known: Sequence[str], what: str) -> str:
+    """Validate a backend name against its registry.
+
+    Parameters
+    ----------
+    name:
+        The backend name supplied by the caller.
+    known:
+        The registry of valid names (e.g. :data:`MODEL_BACKENDS`).
+    what:
+        Human-readable layer name for the error message
+        (``"profiling"`` or ``"model"``).
+
+    Returns
+    -------
+    str
+        ``name`` unchanged, for call-chaining.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not in ``known``.  The message always contains
+        the word "backend" and the known names.
+    """
+    if name not in known:
+        raise ValueError(
+            f"unknown {what} backend {name!r}; "
+            f"known backends: {', '.join(known)}"
+        )
+    return name
+
+
+def default_model_backend() -> str:
+    """The model backend to use when the caller did not pick one.
+
+    Reads :data:`MODEL_BACKEND_ENV` (validated) and falls back to the
+    fastest registered backend.
+    """
+    env = os.environ.get(MODEL_BACKEND_ENV)
+    if env:
+        return validate_backend(env, MODEL_BACKENDS, "model")
+    return MODEL_BACKENDS[0]
+
+
+def resolve_model_backend(backend: Optional[str]) -> str:
+    """Resolve an optional explicit backend choice to a validated name."""
+    if backend is None:
+        return default_model_backend()
+    return validate_backend(backend, MODEL_BACKENDS, "model")

@@ -46,9 +46,18 @@ from repro.api import (
     SpecError,
     config_from_overrides,
 )
+from repro.backends import MODEL_BACKENDS
 from repro.explore.search import OBJECTIVES, OPTIMIZERS
 from repro.simulator import simulate
 from repro.workloads import generate_trace, make_workload, workload_names
+
+
+def _add_model_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model-backend", choices=MODEL_BACKENDS,
+                        default=None,
+                        help="model evaluation backend (default: "
+                             "REPRO_MODEL_BACKEND or 'batch'; results "
+                             "are bitwise identical)")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -188,7 +197,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             limit=args.limit,
         )
         with Session(workers=args.workers,
-                     profile_store=args.cache) as session:
+                     profile_store=args.cache,
+                     model_backend=args.model_backend) as session:
             data = session.run(spec).data
     except SpecError as exc:
         return _error(str(exc))
@@ -229,7 +239,8 @@ def cmd_search(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
         )
         with Session(workers=args.workers,
-                     profile_store=args.cache) as session:
+                     profile_store=args.cache,
+                     model_backend=args.model_backend) as session:
             data = session.run(spec).data
     except SpecError as exc:
         return _error(str(exc))
@@ -288,7 +299,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
             train_fraction=args.train_fraction,
             seed=args.seed,
         )
-        with Session(workers=args.workers) as session:
+        with Session(workers=args.workers,
+                     model_backend=args.model_backend) as session:
             data = session.run(spec).data
     except SpecError as exc:
         return _error(str(exc))
@@ -325,7 +337,8 @@ def cmd_dvfs(args: argparse.Namespace) -> int:
             frequency=args.frequency,
             prefetch=args.prefetch,
         )
-        with Session(workers=args.workers) as session:
+        with Session(workers=args.workers,
+                     model_backend=args.model_backend) as session:
             data = session.run(spec).data
     except SpecError as exc:
         return _error(str(exc))
@@ -456,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--cache", default=None, metavar="DIR",
                      help="profile-store directory for cached "
                           "StatStack tables")
+    _add_model_backend_argument(sub)
     sub.set_defaults(func=cmd_sweep)
 
     sub = subparsers.add_parser(
@@ -492,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "StatStack tables")
     sub.add_argument("--trajectory", default=None, metavar="OUT.json",
                      help="write the full search trajectory as JSON")
+    _add_model_backend_argument(sub)
     sub.set_defaults(func=cmd_search)
 
     sub = subparsers.add_parser(
@@ -521,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(1 = serial; results are identical)")
     sub.add_argument("--json", default=None, metavar="OUT.json",
                      help="write the full report as JSON")
+    _add_model_backend_argument(sub)
     sub.set_defaults(func=cmd_validate)
 
     sub = subparsers.add_parser(
@@ -539,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "SweepEngine with this many workers "
                           "(1 = serial)")
     _add_config_arguments(sub)
+    _add_model_backend_argument(sub)
     sub.set_defaults(func=cmd_dvfs)
 
     sub = subparsers.add_parser(

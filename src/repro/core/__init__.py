@@ -41,9 +41,10 @@ from repro.core.memory_model import (
     llc_chain_penalty,
     mshr_soft_cap,
 )
-from repro.core.interval import IntervalModel, Prediction
+from repro.core.interval import IntervalModel, ModelCache, Prediction
 from repro.core.power import ActivityVector, PowerBreakdown, PowerModel
 from repro.core.model import AnalyticalModel
+from repro.core.batch import BatchConfigs
 
 __all__ = [
     "DVFSPoint",
@@ -66,9 +67,11 @@ __all__ = [
     "llc_chain_penalty",
     "mshr_soft_cap",
     "IntervalModel",
+    "ModelCache",
     "Prediction",
     "ActivityVector",
     "PowerBreakdown",
     "PowerModel",
     "AnalyticalModel",
+    "BatchConfigs",
 ]

@@ -8,8 +8,9 @@ mirroring the paper's flow where profile statistics feed McPAT directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.backends import resolve_model_backend
 from repro.core.interval import IntervalModel, ModelCache, Prediction
 from repro.core.machine import MachineConfig
 from repro.core.power import ActivityVector, PowerBreakdown, PowerModel
@@ -256,3 +257,42 @@ class AnalyticalModel:
             edp=power_model.edp(activity),
             ed2p=power_model.ed2p(activity),
         )
+
+    def predict_batch(
+        self,
+        profile: ApplicationProfile,
+        configs: Sequence[MachineConfig],
+        backend: Optional[str] = None,
+    ) -> List[ModelResult]:
+        """Full predictions for a whole config batch on one profile.
+
+        Parameters
+        ----------
+        profile:
+            The application profile.
+        configs:
+            A sequence of configurations, or a prebuilt
+            :class:`~repro.core.batch.BatchConfigs`.
+        backend:
+            ``"batch"`` (vectorized, default), ``"scalar"`` (the
+            per-config reference loop), or ``None`` to take the
+            ``REPRO_MODEL_BACKEND`` environment default.  Both backends
+            return bitwise-identical results and leave any attached
+            :class:`ModelCache` in an identical state; unknown names
+            raise ``ValueError`` before any evaluation.
+
+        Returns
+        -------
+        list of ModelResult
+            One result per configuration, in input order.
+        """
+        backend = resolve_model_backend(backend)
+        if backend == "scalar":
+            from repro.core.batch import BatchConfigs
+
+            if isinstance(configs, BatchConfigs):
+                configs = configs.configs
+            return [self.predict(profile, config) for config in configs]
+        from repro.core.batch import predict_model_batch
+
+        return predict_model_batch(self, profile, configs)

@@ -48,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro.backends import resolve_model_backend
 from repro.core.interval import ModelCache
 from repro.core.machine import MachineConfig
 from repro.core.model import AnalyticalModel, ModelResult
@@ -68,12 +69,14 @@ def _init_worker(
     model: AnalyticalModel,
     profiles: Sequence[ApplicationProfile],
     configs: Sequence[MachineConfig],
+    backend: str,
 ) -> None:
     """Pool initializer: install the grid and a fresh per-process cache."""
     model.cache = ModelCache()
     _WORKER["model"] = model
     _WORKER["profiles"] = profiles
     _WORKER["configs"] = configs
+    _WORKER["backend"] = backend
 
 
 def _run_batch(task: Tuple[int, int, int]) -> List[ModelResult]:
@@ -82,24 +85,29 @@ def _run_batch(task: Tuple[int, int, int]) -> List[ModelResult]:
     model: AnalyticalModel = _WORKER["model"]  # type: ignore[assignment]
     profile = _WORKER["profiles"][profile_index]  # type: ignore[index]
     configs = _WORKER["configs"]  # type: ignore[assignment]
-    return [model.predict(profile, c) for c in configs[start:stop]]
+    backend: str = _WORKER["backend"]  # type: ignore[assignment]
+    return model.predict_batch(
+        profile, configs[start:stop], backend=backend  # type: ignore[index]
+    )
 
 
 def _run_shared_batch(state, task: Tuple[int, int, int]):
     """Evaluate one batch against :class:`~repro.api.pool.WorkerPool`
-    shared state (``(model, profiles, configs)``).
+    shared state (``(model, profiles, configs, backend)``).
 
     The state object persists inside the worker for the whole sweep, so
     attaching a :class:`~repro.core.interval.ModelCache` on the first
     batch gives every later batch of the same sweep a warm cache --
     exactly what :func:`_init_worker` does for per-call pools.
     """
-    model, profiles, configs = state
+    model, profiles, configs, backend = state
     if model.cache is None:
         model.cache = ModelCache()
     profile_index, start, stop = task
     profile = profiles[profile_index]
-    return [model.predict(profile, c) for c in configs[start:stop]]
+    return model.predict_batch(
+        profile, configs[start:stop], backend=backend
+    )
 
 
 class SweepEngine:
@@ -139,6 +147,14 @@ class SweepEngine:
     progress:
         Optional ``progress(done, total)`` callback invoked after every
         design point.
+    backend:
+        Model evaluation backend per config chunk: ``"batch"`` (the
+        vectorized array program), ``"scalar"`` (the per-config
+        reference loop), or ``None`` to take the
+        ``REPRO_MODEL_BACKEND`` environment default.  Both backends
+        stream bitwise-identical design points in the same order, at
+        any chunk size and worker count; unknown names raise
+        ``ValueError`` when the sweep starts.
 
     Examples
     --------
@@ -156,6 +172,7 @@ class SweepEngine:
         store: Optional[ProfileStore] = None,
         pool=None,
         progress: Optional[Callable[[int, int], None]] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.model = model if model is not None else AnalyticalModel()
         self.workers = workers
@@ -163,6 +180,7 @@ class SweepEngine:
         self.store = store
         self.pool = pool
         self.progress = progress
+        self.backend = backend
         # id -> (profile, store key): profiles already prepared by this
         # engine (the profile reference pins the id against reuse).
         self._prepared: Dict[int, Tuple[ApplicationProfile,
@@ -246,6 +264,9 @@ class SweepEngine:
         """
         profiles = list(profiles)
         configs = list(configs)
+        # Resolve (and validate) the backend before any evaluation, so
+        # a bad name fails fast instead of mid-sweep.
+        backend = resolve_model_backend(self.backend)
         self.prepare(profiles)
         # Per-run cache unless the caller attached their own: the
         # caller's model is left exactly as it was handed to us.
@@ -256,9 +277,9 @@ class SweepEngine:
         try:
             if (self.effective_workers() <= 1
                     or not profiles or not configs):
-                yield from self._iter_serial(profiles, configs)
+                yield from self._iter_serial(profiles, configs, backend)
             else:
-                yield from self._iter_parallel(profiles, configs)
+                yield from self._iter_parallel(profiles, configs, backend)
         finally:
             if attached:
                 self.model.cache = None
@@ -288,17 +309,24 @@ class SweepEngine:
         self,
         profiles: Sequence[ApplicationProfile],
         configs: Sequence[MachineConfig],
+        backend: str,
     ) -> Iterator["DesignPoint"]:
         from repro.explore.dse import DesignPoint
 
         total = len(profiles) * len(configs)
         done = 0
-        for profile in profiles:
-            for config in configs:
+        for profile_index, start, stop in self._batches(
+            len(profiles), len(configs)
+        ):
+            profile = profiles[profile_index]
+            results = self.model.predict_batch(
+                profile, configs[start:stop], backend=backend
+            )
+            for offset, result in enumerate(results):
                 point = DesignPoint(
                     workload=profile.name,
-                    config=config,
-                    result=self.model.predict(profile, config),
+                    config=configs[start + offset],
+                    result=result,
                 )
                 done += 1
                 if self.progress is not None:
@@ -309,17 +337,18 @@ class SweepEngine:
         self,
         profiles: Sequence[ApplicationProfile],
         configs: Sequence[MachineConfig],
+        backend: str,
     ) -> Iterator["DesignPoint"]:
         from repro.explore.dse import DesignPoint
 
         if self.pool is not None:
-            yield from self._iter_shared(profiles, configs)
+            yield from self._iter_shared(profiles, configs, backend)
             return
 
         try:
             import multiprocessing
         except ImportError:
-            yield from self._iter_serial(profiles, configs)
+            yield from self._iter_serial(profiles, configs, backend)
             return
 
         tasks = self._batches(len(profiles), len(configs))
@@ -332,13 +361,13 @@ class SweepEngine:
             pool = multiprocessing.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(self.model, profiles, configs),
+                initargs=(self.model, profiles, configs, backend),
             )
         except (ImportError, OSError, ValueError):
             # Platforms without working process support (missing
             # semaphores, sandboxed environments) fall back to serial.
             self.model.cache = cache
-            yield from self._iter_serial(profiles, configs)
+            yield from self._iter_serial(profiles, configs, backend)
             return
         finally:
             if self.model.cache is None:
@@ -365,11 +394,12 @@ class SweepEngine:
         self,
         profiles: Sequence[ApplicationProfile],
         configs: Sequence[MachineConfig],
+        backend: str,
     ) -> Iterator["DesignPoint"]:
         """The parallel path on an externally-owned persistent pool.
 
-        Ships ``(model-without-cache, profiles, configs)`` as the
-        stage's shared state (pickled once, installed per worker at
+        Ships ``(model-without-cache, profiles, configs, backend)`` as
+        the stage's shared state (pickled once, installed per worker at
         most once) and streams batches back in submission order, so
         results are bitwise identical to :meth:`_iter_parallel`.
         Platforms without working process support fall back to serial.
@@ -385,12 +415,12 @@ class SweepEngine:
         try:
             stream = self.pool.imap(
                 _run_shared_batch,
-                (self.model, list(profiles), list(configs)),
+                (self.model, list(profiles), list(configs), backend),
                 tasks,
             )
         except WorkerPoolError:
             self.model.cache = cache
-            yield from self._iter_serial(profiles, configs)
+            yield from self._iter_serial(profiles, configs, backend)
             return
         finally:
             if self.model.cache is None:

@@ -313,6 +313,12 @@ class SearchProblem:
         memoized intermediates persist across proposal batches instead
         of being rebuilt every round (results are unchanged -- the
         cache is a bitwise-identical memo).
+    backend:
+        Model evaluation backend for the default engine (``"batch"``,
+        ``"scalar"`` or ``None`` for the environment default); ignored
+        when an ``engine`` is passed -- configure the engine directly
+        instead.  Search trajectories are bitwise identical across
+        backends.
     """
 
     def __init__(
@@ -321,6 +327,7 @@ class SearchProblem:
         space: DesignSpace,
         objective: Objective,
         engine: Optional[SweepEngine] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if not profiles:
             raise ValueError("need at least one profile")
@@ -328,7 +335,7 @@ class SearchProblem:
         self.space = space
         self.objective = objective
         self.engine = engine if engine is not None else SweepEngine(
-            workers=1)
+            workers=1, backend=backend)
         # Keep memoized model intermediates alive across the many
         # small engine sweeps a search performs (iter_sweep only
         # attaches a per-call cache when none is present).

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import PROFILE_BACKENDS, validate_backend
 from repro.frontend.entropy import (
     BranchEntropyProfile,
     profile_branch_entropy,
@@ -374,15 +375,15 @@ def profile_application(
     ``backend`` selects ``"columns"`` (vectorized, default) or
     ``"scalar"`` (the retained per-``Instruction`` reference).  The two
     produce bitwise-identical profiles; the scalar path exists for
-    property testing and the profiler speedup benchmark.
+    property testing and the profiler speedup benchmark.  Unknown
+    backend names raise ``ValueError`` before any work happens.
     """
+    validate_backend(backend, PROFILE_BACKENDS, "profiling")
     sampling = sampling or SamplingConfig()
     if backend == "scalar":
         return _profile_application_scalar(
             trace, sampling, rob_grid, line_size, entropy_history_lengths
         )
-    if backend != "columns":
-        raise ValueError(f"unknown profiling backend {backend!r}")
 
     columns = TraceColumns.ensure(trace)
     total = len(columns)

@@ -15,6 +15,16 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from equivalence import (
+    accesses as _accesses,
+    assert_memory_profiles_bitwise,
+    assert_profiles_bitwise,
+    instructions as _instructions,
+    line_sizes as _line_sizes,
+    sample_rates as _rates,
+    seeds as _seeds,
+    traces as _traces,
+)
 from repro.isa import Instruction, MacroOp
 from repro.frontend.entropy import profile_branch_entropy
 from repro.profiler import SamplingConfig, profile_application
@@ -34,7 +44,6 @@ from repro.profiler.profile import (
 )
 from repro.profiler.serialization import (
     profile_fingerprint,
-    profile_to_dict,
 )
 from repro.statstack.reuse import (
     _collect_reuse_profile_scalar,
@@ -48,26 +57,8 @@ from repro.workloads.columns import (
     previous_occurrence,
 )
 
-# Small pools on purpose: collisions (same pc, same line) are where the
-# grouping logic can diverge from the scalar dictionaries.
-_instructions = st.builds(
-    Instruction,
-    pc=st.integers(0, 40).map(lambda k: 0x1000 + 4 * k),
-    op=st.sampled_from(list(MacroOp)),
-    dst=st.integers(-1, 15),
-    src1=st.integers(-1, 15),
-    src2=st.integers(-1, 15),
-    addr=st.integers(0, 2048).map(lambda slot: slot * 8),
-    taken=st.booleans(),
-)
-_traces = st.lists(_instructions, min_size=0, max_size=250)
-_accesses = st.lists(
-    st.tuples(st.integers(0, 4096).map(lambda s: s * 16), st.booleans()),
-    min_size=0, max_size=250,
-)
-_line_sizes = st.sampled_from([32, 64, 128])
-_rates = st.sampled_from([1.0, 0.5, 0.1])
-_seeds = st.integers(0, 50)
+# Strategies live in equivalence.py (shared with the model-backend
+# differential tests); see there for why the value pools are small.
 
 
 class TestReuseEquivalence:
@@ -129,15 +120,7 @@ class TestMemoryEquivalence:
             instrs, line_size=line_size)
         vectorized = profile_micro_trace_memory(
             instrs, line_size=line_size)
-        assert scalar == vectorized
-        # Insertion order is part of the contract: classify_strides
-        # breaks most_common ties by it, and f(l) dict order follows it.
-        assert list(scalar.static_loads) == list(vectorized.static_loads)
-        assert (list(scalar.load_dependence)
-                == list(vectorized.load_dependence))
-        for pc, load in scalar.static_loads.items():
-            assert (load.strides.most_common()
-                    == vectorized.static_loads[pc].strides.most_common())
+        assert_memory_profiles_bitwise(scalar, vectorized)
 
 
 class TestAuxiliaryEquivalence:
@@ -173,17 +156,7 @@ class TestProfileApplicationEquivalence:
         trace = Trace(instrs, name="prop")
         scalar = profile_application(trace, sampling, backend="scalar")
         columnar = profile_application(trace, sampling)
-        assert profile_to_dict(scalar) == profile_to_dict(columnar)
-        # Byte-identical serialization, not just dict equality: the
-        # non-canonical save_profile JSON preserves key insertion
-        # order, so a scalar- and a columnar-built store entry must
-        # serialize to the same bytes.
-        import json
-
-        assert (json.dumps(profile_to_dict(scalar))
-                == json.dumps(profile_to_dict(columnar)))
-        assert (profile_fingerprint(scalar)
-                == profile_fingerprint(columnar))
+        assert_profiles_bitwise(scalar, columnar)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):

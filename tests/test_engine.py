@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from equivalence import assert_points_identical as _assert_points_identical
 from repro.core import AnalyticalModel, design_space, nehalem
 from repro.core.interval import ModelCache
 from repro.explore.dse import evaluate_design_space
@@ -20,19 +21,6 @@ from repro.statstack.model import StatStack
 from repro.workloads import generate_trace, make_workload
 
 SPACE = {"dispatch_width": (2, 4), "llc_mb": (2, 8), "rob_size": (64, 128)}
-
-
-def _assert_points_identical(a, b):
-    assert len(a) == len(b)
-    for pa, pb in zip(a, b):
-        assert pa.workload == pb.workload
-        assert pa.config.name == pb.config.name
-        assert pa.cpi == pb.cpi
-        assert pa.seconds == pb.seconds
-        assert pa.power_watts == pb.power_watts
-        assert pa.energy_joules == pb.energy_joules
-        assert pa.result.performance.stack == pb.result.performance.stack
-        assert pa.result.performance.mlp == pb.result.performance.mlp
 
 
 class TestSweepEngine:

@@ -1,0 +1,359 @@
+"""Batched model backend: bitwise equivalence vs the scalar reference.
+
+``IntervalModel.predict_batch`` / ``PowerModel.evaluate_batch`` must
+reproduce the retained scalar prediction loop *bitwise* -- same CPI and
+power stacks (values and key order), same window breakdowns, same
+:class:`ModelCache` contents, same DesignPoint streams at any chunk
+size and worker count.  Hypothesis drives random (profile, config
+batch) pairs through both backends via the shared harness in
+``equivalence.py``; unit tests pin cache hit/miss behaviour, engine
+chunking corners, backend validation and the CLI flag.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from equivalence import (
+    EXTREME_AXES,
+    any_config_batch,
+    assert_cache_states_equal,
+    assert_points_identical,
+    assert_result_lists_bitwise,
+    assert_results_bitwise,
+    config_batches,
+    micro_profiles,
+    profiles,
+    table_slices,
+)
+from repro.backends import (
+    MODEL_BACKEND_ENV,
+    MODEL_BACKENDS,
+    default_model_backend,
+    resolve_model_backend,
+)
+from repro.cli import build_parser
+from repro.core import AnalyticalModel, BatchConfigs, ModelCache, nehalem
+from repro.core.machine import config_from_params
+from repro.explore.engine import SweepEngine
+from repro.explore.search import SearchProblem, get_objective, make_optimizer
+from repro.explore.space import DesignSpace, Parameter
+from repro.profiler import profile_application
+from repro.workloads import Trace
+
+#: A small mixed batch hitting the model's branchy corners: narrow and
+#: wide pipelines, tiny and huge ROBs, prefetch on, saturated MSHRs.
+CORNER_CONFIGS = [
+    config_from_params({"dispatch_width": 1, "rob_size": 16,
+                        "mshr_entries": 1}),
+    config_from_params({"dispatch_width": 8, "rob_size": 512,
+                        "llc_mb": 1, "frequency_ghz": 3.4}),
+    config_from_params({"prefetch": True, "l1d_kb": 16, "l2_kb": 128}),
+    nehalem(),
+    nehalem(),  # duplicate on purpose: stresses the gather indices
+]
+
+
+def _both(profile, configs, **model_kwargs):
+    """Evaluate ``configs`` with both backends on fresh models/caches."""
+    scalar_model = AnalyticalModel(cache=ModelCache(), **model_kwargs)
+    batch_model = AnalyticalModel(cache=ModelCache(), **model_kwargs)
+    scalar = scalar_model.predict_batch(profile, configs,
+                                        backend="scalar")
+    batch = batch_model.predict_batch(profile, configs, backend="batch")
+    return scalar, batch, scalar_model.cache, batch_model.cache
+
+
+class TestBatchDifferential:
+    @given(profile=profiles(), configs=any_config_batch)
+    @settings(max_examples=12, deadline=None)
+    def test_random_profile_random_batch_bitwise(self, profile,
+                                                 configs):
+        scalar, batch, scalar_cache, batch_cache = _both(profile,
+                                                         configs)
+        assert_result_lists_bitwise(scalar, batch)
+        assert_cache_states_equal(scalar_cache, batch_cache)
+
+    @given(profile=micro_profiles(), configs=config_batches(max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_degenerate_micro_traces_bitwise(self, profile, configs):
+        scalar, batch, scalar_cache, batch_cache = _both(profile,
+                                                         configs)
+        assert_result_lists_bitwise(scalar, batch)
+        assert_cache_states_equal(scalar_cache, batch_cache)
+
+    def test_empty_batch(self, gcc_profile):
+        scalar, batch, scalar_cache, batch_cache = _both(gcc_profile,
+                                                         [])
+        assert scalar == [] and batch == []
+        assert_cache_states_equal(scalar_cache, batch_cache)
+
+    def test_single_config_matches_scalar_predict(self, gcc_profile):
+        model = AnalyticalModel()
+        reference = model.predict(gcc_profile, nehalem())
+        for backend in MODEL_BACKENDS:
+            (result,) = AnalyticalModel().predict_batch(
+                gcc_profile, [nehalem()], backend=backend)
+            assert_results_bitwise(result, reference)
+
+    def test_prebuilt_batchconfigs_accepted(self, gcc_profile):
+        prebuilt = BatchConfigs(CORNER_CONFIGS)
+        scalar, batch, _, _ = _both(gcc_profile, prebuilt)
+        assert_result_lists_bitwise(scalar, batch)
+        from_list = AnalyticalModel().predict_batch(
+            gcc_profile, CORNER_CONFIGS, backend="batch")
+        assert_result_lists_bitwise(batch, from_list)
+
+    @pytest.mark.parametrize("mlp_model", ["stride", "cold", "none"])
+    def test_mlp_model_variants_bitwise(self, gcc_profile, mlp_model):
+        scalar, batch, scalar_cache, batch_cache = _both(
+            gcc_profile, CORNER_CONFIGS, mlp_model=mlp_model)
+        assert_result_lists_bitwise(scalar, batch)
+        assert_cache_states_equal(scalar_cache, batch_cache)
+
+    def test_feature_toggles_bitwise(self, mcf_profile):
+        scalar, batch, scalar_cache, batch_cache = _both(
+            mcf_profile, CORNER_CONFIGS, enable_llc_chaining=False,
+            enable_mshr=False, enable_bus=False)
+        assert_result_lists_bitwise(scalar, batch)
+        assert_cache_states_equal(scalar_cache, batch_cache)
+
+
+class TestModelCacheBehaviour:
+    """Pin what hits, what misses, and that backends warm identically."""
+
+    def test_second_evaluation_is_all_hits(self, gcc_profile):
+        model = AnalyticalModel(cache=ModelCache())
+        first = model.predict_batch(gcc_profile, CORNER_CONFIGS)
+        warmed = set(model.cache._memo)
+        assert warmed  # the batch populated the memo
+        second = model.predict_batch(gcc_profile, CORNER_CONFIGS)
+        assert set(model.cache._memo) == warmed  # no new keys: all hits
+        assert_result_lists_bitwise(first, second)
+
+    def test_frequency_axis_never_misses(self, gcc_profile):
+        # No dependency key reads the clock: configs differing only in
+        # frequency (and Vdd) must be pure cache hits after the first.
+        model = AnalyticalModel(cache=ModelCache())
+        base = {"dispatch_width": 4, "llc_mb": 2}
+        model.predict_batch(gcc_profile, [config_from_params(base)])
+        warmed = set(model.cache._memo)
+        retuned = [config_from_params({**base, "frequency_ghz": f})
+                   for f in EXTREME_AXES["frequency_ghz"]]
+        model.predict_batch(gcc_profile, retuned)
+        assert set(model.cache._memo) == warmed
+
+    def test_llc_axis_misses(self, gcc_profile):
+        # Miss-ratio queries key on cache geometry: a new LLC size must
+        # add memo entries.
+        model = AnalyticalModel(cache=ModelCache())
+        model.predict_batch(gcc_profile,
+                            [config_from_params({"llc_mb": 2})])
+        warmed = set(model.cache._memo)
+        model.predict_batch(gcc_profile,
+                            [config_from_params({"llc_mb": 8})])
+        assert set(model.cache._memo) > warmed
+
+    def test_key_families_are_exhaustive(self, gcc_profile):
+        # Every memo key names its dependency family first; the set of
+        # families is part of the cache contract both backends share.
+        model = AnalyticalModel(cache=ModelCache())
+        model.predict_batch(gcc_profile, CORNER_CONFIGS)
+        families = {key[0] for key in model.cache._memo}
+        assert families == {"limits", "branch", "iratios", "dratio",
+                            "fl", "stream", "smlp", "activity"}
+
+    @pytest.mark.parametrize("first,second",
+                             [("scalar", "batch"), ("batch", "scalar")])
+    def test_cross_backend_cache_warming(self, gcc_profile, first,
+                                         second):
+        # A cache warmed by one backend must serve the other: same
+        # results, zero new keys in either direction.
+        cache = ModelCache()
+        model = AnalyticalModel(cache=cache)
+        warm = model.predict_batch(gcc_profile, CORNER_CONFIGS,
+                                   backend=first)
+        warmed = set(cache._memo)
+        reuse = model.predict_batch(gcc_profile, CORNER_CONFIGS,
+                                    backend=second)
+        assert set(cache._memo) == warmed
+        assert_result_lists_bitwise(warm, reuse)
+
+
+class TestEngineChunking:
+    """The sweep stream is chunk- and worker-count invariant."""
+
+    SPACE = {"dispatch_width": (2, 4), "llc_mb": (2, 8),
+             "rob_size": (64, 128)}
+
+    def _configs(self):
+        from repro.core import design_space
+
+        return design_space(self.SPACE)
+
+    def _reference(self, profiles_):
+        return SweepEngine(workers=1, backend="scalar").sweep(
+            profiles_, self._configs())
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 10_000])
+    def test_any_chunk_size_matches_scalar(self, gcc_profile,
+                                           batch_size):
+        reference = self._reference([gcc_profile])
+        engine = SweepEngine(workers=1, batch_size=batch_size,
+                             backend="batch")
+        chunked = engine.sweep([gcc_profile], self._configs())
+        assert set(chunked) == set(reference)
+        for name in reference:
+            assert_points_identical(chunked[name], reference[name])
+
+    @pytest.mark.parametrize("workers", [0, 1, 2])
+    def test_any_worker_count_matches_scalar(self, gcc_profile,
+                                             gamess_profile, workers):
+        # workers=0 exercises the serial fallback (clamped to 1).
+        profiles_ = [gcc_profile, gamess_profile]
+        reference = self._reference(profiles_)
+        swept = SweepEngine(workers=workers, backend="batch").sweep(
+            profiles_, self._configs())
+        assert set(swept) == set(reference)
+        for name in reference:
+            assert_points_identical(swept[name], reference[name])
+
+    def test_streaming_order_is_grid_order(self, gcc_profile,
+                                           gamess_profile):
+        configs = self._configs()
+        profiles_ = [gcc_profile, gamess_profile]
+        stream = list(SweepEngine(workers=2, batch_size=1,
+                                  backend="batch")
+                      .iter_sweep(profiles_, configs))
+        expected = [(p.name, c.name) for p in profiles_
+                    for c in configs]
+        assert ([(pt.workload, pt.config.name) for pt in stream]
+                == expected)
+
+    def test_constrained_space_filtered_to_empty(self, gcc_profile):
+        space = DesignSpace(
+            parameters=(Parameter.integer("dispatch_width", 2, 6, 2),),
+            constraints=("dispatch_width > 100",),
+            name="infeasible",
+        )
+        assert space.configs() == []
+        results = SweepEngine(workers=1, backend="batch").sweep(
+            [gcc_profile], space.configs())
+        assert results == {}
+
+    def test_constrained_space_smaller_than_chunk(self, gcc_profile):
+        space = DesignSpace(
+            parameters=(Parameter.integer("dispatch_width", 2, 6, 2),
+                        Parameter.categorical("llc_mb", (2, 8))),
+            constraints=("dispatch_width == 4", "llc_mb == 8"),
+            name="singleton",
+        )
+        configs = space.configs()
+        assert len(configs) == 1
+        engine = SweepEngine(workers=1, batch_size=64, backend="batch")
+        points = engine.sweep([gcc_profile], configs)["gcc"]
+        reference = SweepEngine(workers=1, backend="scalar").sweep(
+            [gcc_profile], configs)["gcc"]
+        assert_points_identical(points, reference)
+
+    def test_search_trajectory_backend_invariant(self, gcc_profile):
+        space = DesignSpace(
+            parameters=(Parameter.integer("dispatch_width", 2, 6, 2),
+                        Parameter.integer("rob_size", 64, 256, 64),
+                        Parameter.categorical("llc_mb", (2, 8))),
+            name="search-backends",
+        )
+        trajectories = [
+            make_optimizer("ga", seed=7).search(
+                SearchProblem([gcc_profile], space,
+                              get_objective("edp"), backend=backend),
+                20)
+            for backend in ("scalar", "batch")
+        ]
+        signatures = [
+            [(e.index, tuple(sorted(e.point.items())), e.fitness)
+             for e in t.evaluations]
+            for t in trajectories
+        ]
+        assert signatures[0] == signatures[1]
+
+
+class TestBackendValidation:
+    """Unknown backend names fail fast, before any evaluation."""
+
+    def test_unknown_model_backend_rejected(self, gcc_profile):
+        with pytest.raises(ValueError, match="backend"):
+            AnalyticalModel().predict_batch(gcc_profile, [nehalem()],
+                                            backend="simd")
+
+    def test_model_backend_validated_before_work(self):
+        # Validation is centralized up front: a bogus backend errors
+        # out before the profile is even touched (None would crash with
+        # AttributeError otherwise).
+        with pytest.raises(ValueError, match="backend"):
+            AnalyticalModel().predict_batch(None, [nehalem()],
+                                            backend="simd")
+
+    def test_engine_rejects_unknown_backend_fast(self, gcc_profile):
+        engine = SweepEngine(workers=1, backend="simd")
+        with pytest.raises(ValueError, match="backend"):
+            engine.sweep([gcc_profile], [nehalem()])
+
+    def test_profile_backend_validated_before_work(self):
+        # Regression: profile_application used to validate the backend
+        # *after* the scalar short-circuit, so typos did a full
+        # columnar profiling run before erroring (or none at all).
+        with pytest.raises(ValueError, match="backend"):
+            profile_application(None, backend="simd")
+        with pytest.raises(ValueError, match="backend"):
+            profile_application(Trace([], name="x"), backend="simd")
+
+    def test_env_sets_default_backend(self, monkeypatch):
+        monkeypatch.setenv(MODEL_BACKEND_ENV, "scalar")
+        assert default_model_backend() == "scalar"
+        assert resolve_model_backend(None) == "scalar"
+        # An explicit argument always wins over the environment.
+        assert resolve_model_backend("batch") == "batch"
+
+    def test_env_default_is_batch(self, monkeypatch):
+        monkeypatch.delenv(MODEL_BACKEND_ENV, raising=False)
+        assert default_model_backend() == "batch"
+
+    def test_invalid_env_backend_rejected(self, monkeypatch,
+                                          gcc_profile):
+        monkeypatch.setenv(MODEL_BACKEND_ENV, "simd")
+        with pytest.raises(ValueError, match="backend"):
+            default_model_backend()
+        with pytest.raises(ValueError, match="backend"):
+            AnalyticalModel().predict_batch(gcc_profile, [nehalem()])
+
+    def test_env_backend_drives_predict_batch(self, monkeypatch,
+                                              gcc_profile):
+        monkeypatch.setenv(MODEL_BACKEND_ENV, "scalar")
+        from_env = AnalyticalModel().predict_batch(gcc_profile,
+                                                   [nehalem()])
+        explicit = AnalyticalModel().predict_batch(
+            gcc_profile, [nehalem()], backend="scalar")
+        assert_result_lists_bitwise(from_env, explicit)
+
+
+class TestCLIFlag:
+    @pytest.mark.parametrize("argv", [
+        ["sweep", "p.json"],
+        ["search", "p.json"],
+        ["validate", "gcc"],
+        ["dvfs", "p.json"],
+    ])
+    def test_model_backend_flag_on_subcommands(self, argv):
+        parser = build_parser()
+        assert parser.parse_args(argv).model_backend is None
+        for backend in MODEL_BACKENDS:
+            args = parser.parse_args(argv + ["--model-backend",
+                                             backend])
+            assert args.model_backend == backend
+
+    def test_invalid_choice_rejected(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "p.json",
+                               "--model-backend", "simd"])
+        capsys.readouterr()  # swallow argparse's usage message
