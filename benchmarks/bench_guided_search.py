@@ -10,12 +10,17 @@ optimizer with engine ``workers=2`` and asserts the trajectory is
 bitwise identical to the serial one (determinism at any worker count).
 
 Results -- including the guided-vs-exhaustive evaluation-count ratio --
-are appended to ``benchmarks/results/E31_guided_search.txt``.
+are appended to ``benchmarks/results/E31_guided_search.txt``; the
+machine-readable perf-trajectory record lands in
+``BENCH_guided_search.json`` at the repository root (all ``bench_*``
+scripts put their ``BENCH_*.json`` there).
 
 Run:  PYTHONPATH=src python benchmarks/bench_guided_search.py
 """
 
+import json
 import os
+import platform
 import sys
 
 from repro.explore import (
@@ -29,6 +34,7 @@ from repro.explore import (
 from repro.profiler import SamplingConfig, profile_application
 from repro.workloads import generate_trace, make_workload
 
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 WORKLOADS = ["gcc", "libquantum"]
 INSTRUCTIONS = 10_000
@@ -90,6 +96,7 @@ def main() -> int:
     ]
 
     failures = []
+    optimizer_records = []
     for name in ("random", "hill", "sa", "ga"):
         serial = SearchProblem(profiles, space, objective,
                                engine=SweepEngine(workers=1))
@@ -107,6 +114,14 @@ def main() -> int:
             f"{trajectory.best_fitness:>13.6e} {gap:>7.2%} "
             f"{'ok' if deterministic else 'MISMATCH':>12s}"
         )
+        optimizer_records.append({
+            "optimizer": name,
+            "evaluations": len(trajectory),
+            "eval_ratio": round(ratio, 6),
+            "best_fitness": trajectory.best_fitness,
+            "gap": round(gap, 6),
+            "deterministic": deterministic,
+        })
         if not deterministic:
             failures.append(f"{name}: workers=2 trajectory diverged")
         if name in ("sa", "ga"):
@@ -127,6 +142,27 @@ def main() -> int:
     with open(os.path.join(RESULTS_DIR, "E31_guided_search.txt"),
               "w") as handle:
         handle.write(text + "\n")
+
+    record = {
+        "experiment": "E31_guided_search",
+        "workloads": WORKLOADS,
+        "instructions": INSTRUCTIONS,
+        "space_size": size,
+        "budget": BUDGET,
+        "seed": SEED,
+        "gap_threshold": GAP_THRESHOLD,
+        "budget_fraction": BUDGET_FRACTION,
+        "exhaustive_optimum": optimum,
+        "optimizers": optimizer_records,
+        "host": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+    }
+    with open(os.path.join(ROOT, "BENCH_guided_search.json"),
+              "w") as handle:
+        json.dump(record, handle, indent=2)
 
     if failures:
         print("\nFAIL:")

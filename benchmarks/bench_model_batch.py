@@ -14,8 +14,9 @@ a >= 10k-configuration design grid:
   backend over a grid slice.
 
 Results land in ``benchmarks/results/E34_model_batch.txt`` and the
-machine-readable perf-trajectory record in
-``benchmarks/results/BENCH_model_batch.json``.
+machine-readable perf-trajectory record in ``BENCH_model_batch.json``
+at the repository root (all ``bench_*`` scripts put their
+``BENCH_*.json`` there).
 
 Run:  PYTHONPATH=src python benchmarks/bench_model_batch.py
       PYTHONPATH=src python benchmarks/bench_model_batch.py --repeats 5
@@ -37,6 +38,7 @@ from repro.explore.engine import SweepEngine
 from repro.profiler import SamplingConfig, profile_application
 from repro.workloads import generate_trace, make_workload
 
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 WORKLOAD = "gcc"
 INSTRUCTIONS = 20_000
@@ -198,7 +200,7 @@ def main() -> int:
             "machine": platform.machine(),
         },
     }
-    with open(os.path.join(RESULTS_DIR, "BENCH_model_batch.json"),
+    with open(os.path.join(ROOT, "BENCH_model_batch.json"),
               "w") as f:
         json.dump(record, f, indent=2)
 

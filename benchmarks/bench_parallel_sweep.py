@@ -11,12 +11,18 @@ implementation (a nested ``model.predict`` loop with no caches); both
 paths start from freshly deserialized profiles so neither benefits from
 in-memory state built by the other.
 
+The machine-readable perf-trajectory record lands in
+``BENCH_parallel_sweep.json`` at the repository root (all ``bench_*``
+scripts put their ``BENCH_*.json`` there).
+
 Run:  PYTHONPATH=src python benchmarks/bench_parallel_sweep.py
       PYTHONPATH=src python benchmarks/bench_parallel_sweep.py --workers 4
 """
 
 import argparse
+import json
 import os
+import platform
 import sys
 import tempfile
 import time
@@ -28,6 +34,7 @@ from repro.profiler import SamplingConfig, profile_application
 from repro.profiler.serialization import ProfileStore
 from repro.workloads import generate_trace, make_workload
 
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 WORKLOADS = ["gcc", "gamess", "mcf", "libquantum"]
 INSTRUCTIONS = 20_000
 SAMPLING = SamplingConfig(1000, 5000)
@@ -103,6 +110,27 @@ def main() -> int:
           f"(workers={workers}, warm profile cache)")
     print(f"speedup            : {speedup:8.2f}x")
     print(f"bitwise identical  : {'yes' if mismatches == 0 else 'NO'}")
+
+    record = {
+        "experiment": "parallel_sweep",
+        "workloads": WORKLOADS,
+        "instructions": INSTRUCTIONS,
+        "n_configs": len(configs),
+        "workers": workers,
+        "required_speedup": 2.0,
+        "baseline_seconds": round(t_baseline, 6),
+        "engine_seconds": round(t_engine, 6),
+        "speedup": round(speedup, 3),
+        "bitwise_identical": mismatches == 0,
+        "host": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+    }
+    with open(os.path.join(ROOT, "BENCH_parallel_sweep.json"),
+              "w") as f:
+        json.dump(record, f, indent=2)
 
     if mismatches:
         print("FAIL: engine results diverge from the serial baseline")

@@ -16,8 +16,9 @@ backend on a >= 200k-instruction trace:
   workload hits the same store entry as a scalar-profiled one.
 
 Results land in ``benchmarks/results/E33_profiler.txt`` and the
-machine-readable perf-trajectory record in
-``benchmarks/results/BENCH_profiler.json``.
+machine-readable perf-trajectory record in ``BENCH_profiler.json`` at
+the repository root (all ``bench_*`` scripts put their
+``BENCH_*.json`` there).
 
 Run:  PYTHONPATH=src python benchmarks/bench_profiler.py
       PYTHONPATH=src python benchmarks/bench_profiler.py --instructions 400000
@@ -36,6 +37,7 @@ from repro.profiler import SamplingConfig, profile_application
 from repro.profiler.serialization import profile_fingerprint
 from repro.workloads import generate_trace, make_workload
 
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 WORKLOAD = "gcc"
 INSTRUCTIONS = 200_000
@@ -166,7 +168,7 @@ def main() -> int:
             "machine": platform.machine(),
         },
     }
-    with open(os.path.join(RESULTS_DIR, "BENCH_profiler.json"),
+    with open(os.path.join(ROOT, "BENCH_profiler.json"),
               "w") as f:
         json.dump(record, f, indent=2)
 

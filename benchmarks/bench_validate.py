@@ -24,7 +24,10 @@ Acceptance check for the validation subsystem, on >= 2 workloads over a
   space, which is why the training subsample here is sparse (8%).
 
 Results land in ``benchmarks/results/E32_validation.txt`` and the full
-JSON report in ``benchmarks/results/E32_validation_report.json``.
+JSON report in ``benchmarks/results/E32_validation_report.json``; the
+machine-readable perf-trajectory record lands in
+``BENCH_validate.json`` at the repository root (all ``bench_*``
+scripts put their ``BENCH_*.json`` there).
 
 Run:  PYTHONPATH=src python benchmarks/bench_validate.py
       PYTHONPATH=src python benchmarks/bench_validate.py --configs 96
@@ -33,6 +36,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_validate.py
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 
@@ -45,6 +49,7 @@ from repro.explore.validate import (
 from repro.profiler import SamplingConfig, profile_application
 from repro.workloads import generate_trace, make_workload
 
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 WORKLOADS = ["gcc", "mcf"]
 INSTRUCTIONS = 8_000
@@ -194,6 +199,28 @@ def main() -> int:
     with open(os.path.join(RESULTS_DIR, "E32_validation_report.json"),
               "w") as handle:
         json.dump(report.as_dict(), handle, indent=2)
+
+    record = {
+        "experiment": "E32_validation",
+        "workloads": WORKLOADS,
+        "instructions": INSTRUCTIONS,
+        "n_configs": len(configs),
+        "parallel_workers": PARALLEL_WORKERS,
+        "train_fraction": TRAIN_FRACTION,
+        "serial_seconds": round(t_serial, 6),
+        "parallel_seconds": round(t_parallel, 6),
+        "speedup": round(speedup, 3),
+        "points_identical": points_identical,
+        "reports_identical": reports_identical,
+        "host": {
+            "python": platform.python_version(),
+            "cpus": cpus,
+            "machine": platform.machine(),
+        },
+    }
+    with open(os.path.join(ROOT, "BENCH_validate.json"),
+              "w") as handle:
+        json.dump(record, handle, indent=2)
 
     if failures:
         print("\nFAIL:")

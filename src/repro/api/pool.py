@@ -18,6 +18,15 @@ worker-side under a monotonically increasing token -- each worker
 materializes a given stage's state at most once.  Results are bitwise
 identical to the per-call-pool path; only where the processes come
 from (and how state reaches them) changes.
+
+When telemetry is active in the parent, worker-side metrics piggyback
+on the existing result messages: each task runs under a worker-local
+registry and :func:`_dispatch` returns ``(result, delta)``, where
+``delta`` is the metrics snapshot that task produced.  The parent
+merges deltas in submission order as results stream back, so the
+aggregate is deterministic for a given task list regardless of which
+worker ran what.  No extra IPC channel -- just a slightly fatter
+result tuple, and only when metrics are enabled.
 """
 
 from __future__ import annotations
@@ -27,7 +36,10 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
+
+from repro import obs
 
 __all__ = ["WorkerPool", "WorkerPoolError"]
 
@@ -52,16 +64,24 @@ class WorkerPoolError(RuntimeError):
 _SHARED_STATE = {"token": None, "value": None}
 
 
-def _dispatch(task: Tuple[int, Any, Callable, Any]) -> Any:
+def _dispatch(task: Tuple[int, Any, Callable, Any, bool]) -> Any:
     """Run one wrapped task inside a worker.
 
-    ``task`` is ``(token, payload, func, args)``: ``payload`` is the
-    pickled shared state of the stage identified by ``token`` --
+    ``task`` is ``(token, payload, func, args, collect)``: ``payload``
+    is the pickled shared state of the stage identified by ``token`` --
     either the raw bytes (small states) or the path of a spill file
     (large states, read once per worker) -- and ``func(state, args)``
     performs the actual work.
+
+    With ``collect`` false the bare result is returned.  With
+    ``collect`` true the task runs under a worker-local metrics
+    registry (no tracing -- span timestamps from another process have
+    no shared origin) and the return value is ``(result, delta)``,
+    where ``delta`` is that registry's snapshot: the task's metric
+    contribution, merged into the parent registry by :meth:`
+    WorkerPool.imap` as results stream back.
     """
-    token, payload, func, args = task
+    token, payload, func, args, collect = task
     if _SHARED_STATE["token"] != token:
         blob = payload
         if isinstance(payload, str):
@@ -69,7 +89,17 @@ def _dispatch(task: Tuple[int, Any, Callable, Any]) -> Any:
                 blob = handle.read()
         _SHARED_STATE["value"] = pickle.loads(blob)
         _SHARED_STATE["token"] = token
-    return func(_SHARED_STATE["value"], args)
+    if not collect:
+        return func(_SHARED_STATE["value"], args)
+    telemetry = obs.Telemetry(trace=False, metrics=True)
+    with obs.activate(telemetry):
+        started = time.perf_counter()
+        result = func(_SHARED_STATE["value"], args)
+        telemetry.metrics.inc("pool.tasks")
+        telemetry.metrics.observe(
+            "pool.task_seconds", time.perf_counter() - started
+        )
+    return result, telemetry.metrics.snapshot()
 
 
 class WorkerPool:
@@ -180,6 +210,12 @@ class WorkerPool:
         whole state riding the pipe with every task.  ``func`` must be
         a module-level (picklable) callable.
 
+        When the active telemetry records metrics, each worker result
+        arrives with that task's metric delta piggybacked (see
+        :func:`_dispatch`); the deltas are merged into the parent
+        registry here, in submission order, before the bare result is
+        yielded -- callers never see the wrapping.
+
         Raises
         ------
         WorkerPoolError
@@ -188,13 +224,30 @@ class WorkerPool:
         """
         pool = self._ensure()
         token = next(self._tokens)
+        registry = obs.metrics()
+        collect = registry.enabled
         payload: Any = pickle.dumps(
             state, protocol=pickle.HIGHEST_PROTOCOL
         )
+        registry.inc("pool.stages")
+        registry.inc("pool.tasks_submitted", len(tasks))
+        registry.inc("pool.state_bytes", len(payload))
+        registry.set_gauge("pool.workers", self.effective_workers())
         if len(payload) > self.inline_state_limit:
             payload = self._spill(token, payload)
-        wrapped = [(token, payload, func, task) for task in tasks]
-        return pool.imap(_dispatch, wrapped)
+            registry.inc("pool.spills")
+        wrapped = [(token, payload, func, task, collect) for task in tasks]
+        results = pool.imap(_dispatch, wrapped)
+        if not collect:
+            return results
+        return self._merge_stream(results, registry)
+
+    @staticmethod
+    def _merge_stream(results: Iterator[Any], registry) -> Iterator[Any]:
+        """Unwrap ``(result, delta)`` pairs, merging deltas in order."""
+        for result, delta in results:
+            registry.merge(delta)
+            yield result
 
     # ------------------------------------------------------------------
 

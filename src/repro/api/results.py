@@ -38,6 +38,12 @@ class RunResult:
         Runtime-only flag: ``True`` when this result was returned from
         a :class:`~repro.api.runstore.RunStore` instead of being
         computed.  Not serialized.
+    telemetry:
+        Optional observability block attached by the session when
+        telemetry is enabled (``{"spans": ..., "metrics": ...}``).
+        Serialized by :meth:`to_dict` when present, but *excluded* from
+        :attr:`fingerprint` and from run-store bytes: what was computed
+        is identical whether or not it was observed.
 
     Examples
     --------
@@ -47,17 +53,19 @@ class RunResult:
     True
     """
 
-    __slots__ = ("spec", "data", "cached")
+    __slots__ = ("spec", "data", "cached", "telemetry")
 
     def __init__(
         self,
         spec: ExperimentSpec,
         data: Dict[str, Any],
         cached: bool = False,
+        telemetry: "Dict[str, Any] | None" = None,
     ) -> None:
         self.spec = spec
         self.data = data
         self.cached = cached
+        self.telemetry = telemetry
 
     @property
     def kind(self) -> str:
@@ -71,19 +79,31 @@ class RunResult:
 
     @property
     def fingerprint(self) -> str:
-        """Content hash of the whole artifact (spec + payload)."""
-        return canonical_fingerprint(self.to_dict())
+        """Content hash of the computed artifact (spec + payload).
+
+        Telemetry never participates: observing a run must not change
+        its identity.
+        """
+        return canonical_fingerprint(self.to_dict(include_telemetry=False))
 
     # ------------------------------------------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
-        """The JSON-serializable artifact (excludes runtime flags)."""
-        return {
+    def to_dict(self, include_telemetry: bool = True) -> Dict[str, Any]:
+        """The JSON-serializable artifact (excludes runtime flags).
+
+        The ``telemetry`` block is included only when one is attached
+        and ``include_telemetry`` is true; the fingerprint and the run
+        store always serialize without it.
+        """
+        artifact: Dict[str, Any] = {
             "format_version": RESULT_FORMAT_VERSION,
             "kind": self.kind,
             "spec": self.spec.to_dict(),
             "data": self.data,
         }
+        if include_telemetry and self.telemetry is not None:
+            artifact["telemetry"] = self.telemetry
+        return artifact
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -96,11 +116,21 @@ class RunResult:
         return cls(
             spec=ExperimentSpec.from_dict(data["spec"]),
             data=dict(data["data"]),
+            telemetry=data.get("telemetry"),
         )
 
-    def save(self, file: Union[str, IO[str]]) -> None:
-        """Write the artifact as JSON (path or open handle)."""
-        data = self.to_dict()
+    def save(
+        self,
+        file: Union[str, IO[str]],
+        include_telemetry: bool = True,
+    ) -> None:
+        """Write the artifact as JSON (path or open handle).
+
+        ``include_telemetry=False`` omits any attached telemetry block
+        (the run store uses this so stored bytes never depend on
+        whether a run was observed).
+        """
+        data = self.to_dict(include_telemetry=include_telemetry)
         if isinstance(file, str):
             with open(file, "w") as handle:
                 json.dump(data, handle, indent=2)

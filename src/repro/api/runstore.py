@@ -13,6 +13,7 @@ Layout: ``<root>/<spec-fingerprint>.run.json`` holds one serialized
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Optional, Union
 
@@ -20,6 +21,8 @@ from repro.api.results import RunResult
 from repro.api.spec import ExperimentSpec, SpecError
 
 __all__ = ["RunStore"]
+
+logger = logging.getLogger(__name__)
 
 
 class RunStore:
@@ -38,10 +41,22 @@ class RunStore:
     >>> store.put(session.run(spec))                   # doctest: +SKIP
     >>> store.get(spec).cached                         # doctest: +SKIP
     False
+
+    The store keeps lifetime accounting as plain ints -- ``hits`` /
+    ``misses`` / ``corrupt`` / ``puts`` -- published into a metrics
+    registry via :meth:`flush_metrics`.  A *corrupt* entry (file exists
+    but cannot be loaded) is still served as a miss so campaigns heal
+    by recomputing, but it is counted separately and logged as a
+    warning rather than silently swallowed.
     """
 
     def __init__(self, root: str) -> None:
         self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.puts = 0
+        self._flushed = {"hits": 0, "misses": 0, "corrupt": 0, "puts": 0}
 
     def path(self, key: Union[str, ExperimentSpec]) -> str:
         """Path of the stored run for a spec (or spec fingerprint)."""
@@ -70,16 +85,49 @@ class RunStore:
         """
         path = self.path(key if key is not None else spec)
         if not os.path.exists(path):
+            self.misses += 1
             return None
         try:
-            return RunResult.load(path)
-        except (OSError, ValueError, KeyError, SpecError):
+            result = RunResult.load(path)
+        except (OSError, ValueError, KeyError, SpecError) as exc:
+            self.corrupt += 1
+            self.misses += 1
+            logger.warning(
+                "corrupt run-store entry %s (%s: %s); recomputing",
+                path, type(exc).__name__, exc,
+            )
             return None
+        self.hits += 1
+        return result
 
     def put(self, result: RunResult, key: Optional[str] = None) -> str:
-        """Store one result (overwrites) and return its store key."""
+        """Store one result (overwrites) and return its store key.
+
+        Telemetry attached to the result is *not* stored: the store is
+        content-addressed by what was computed, and stored bytes must
+        be identical whether or not telemetry was enabled for the run.
+        """
         if key is None:
             key = result.spec_fingerprint
         os.makedirs(self.root, exist_ok=True)
-        result.save(self.path(key))
+        self.puts += 1
+        result.save(self.path(key), include_telemetry=False)
         return key
+
+    def flush_metrics(self, metrics) -> None:
+        """Publish store counters accumulated since the last flush.
+
+        Increments ``run_store.hits`` / ``run_store.misses`` /
+        ``run_store.corrupt`` / ``run_store.puts`` on ``metrics`` by
+        the deltas since the previous flush (repeated flushing never
+        double-counts).  Flushing into a disabled registry is a no-op
+        that keeps the deltas pending.
+        """
+        if not metrics.enabled:
+            return
+        for attr in ("hits", "misses", "corrupt", "puts"):
+            value = getattr(self, attr)
+            delta = value - self._flushed[attr]
+            if delta:
+                metrics.inc(f"run_store.{attr}", delta)
+                self._flushed[attr] = value

@@ -39,9 +39,9 @@ Examples
 from __future__ import annotations
 
 import hashlib
-import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro import obs
 from repro.api.pool import WorkerPool
 from repro.api.results import RunResult
 from repro.api.runstore import RunStore
@@ -145,6 +145,15 @@ class Session:
         ``REPRO_MODEL_BACKEND`` environment default.  Results are
         bitwise identical across backends, so the choice is not part
         of experiment fingerprints.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` to record
+        into.  Defaults to whatever is active (:func:`repro.obs.current`)
+        when the session is constructed -- the CLI activates one for
+        ``--trace`` / ``--metrics`` and every session built underneath
+        inherits it.  The session re-activates its telemetry around
+        every :meth:`run`, wraps each run in spans, and attaches a
+        ``telemetry`` block to the result.  Telemetry never changes
+        results, fingerprints, or run-store bytes.
 
     Examples
     --------
@@ -160,6 +169,7 @@ class Session:
         run_store: Union[RunStore, str, None] = None,
         model: Optional[AnalyticalModel] = None,
         model_backend: Optional[str] = None,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> None:
         if isinstance(profile_store, str):
             profile_store = ProfileStore(profile_store)
@@ -169,6 +179,8 @@ class Session:
         self.profile_store = profile_store
         self.run_store = run_store
         self.model_backend = model_backend
+        self.telemetry = (telemetry if telemetry is not None
+                          else obs.current())
 
         base = model if model is not None else AnalyticalModel()
         if base.cache is None:
@@ -211,10 +223,11 @@ class Session:
 
         key = (name, instructions, trace_seed)
         if key not in self._traces:
-            self._traces[key] = generate_trace(
-                make_workload(name, seed=trace_seed),
-                max_instructions=instructions,
-            )
+            with obs.span("workloads.trace", workload=name):
+                self._traces[key] = generate_trace(
+                    make_workload(name, seed=trace_seed),
+                    max_instructions=instructions,
+                )
         return self._traces[key]
 
     def profile_workload(
@@ -244,6 +257,7 @@ class Session:
         key = (name, instructions, micro_trace, window, trace_seed,
                reuse_sample_rate, reuse_seed)
         if key not in self._profiles:
+            obs.metrics().inc("workload_registry.misses")
             trace = self.trace(name, instructions, trace_seed)
             sampling = SamplingConfig(
                 micro_trace,
@@ -251,7 +265,10 @@ class Session:
                 reuse_sample_rate=reuse_sample_rate,
                 reuse_seed=reuse_seed,
             )
-            self._profiles[key] = profile_application(trace, sampling)
+            with obs.span("workloads.profile", workload=name):
+                self._profiles[key] = profile_application(trace, sampling)
+        else:
+            obs.metrics().inc("workload_registry.hits")
         return self._profiles[key]
 
     def load_profile(self, path: str):
@@ -358,19 +375,78 @@ class Session:
             when it came from the :class:`RunStore`.
         """
         spec = ExperimentSpec.coerce(spec)
+        telemetry = self.telemetry
+        with obs.activate(telemetry):
+            start_events = len(telemetry.tracer.events)
+            baseline = (telemetry.metrics.snapshot()
+                        if telemetry.metrics.enabled else None)
+            with telemetry.span("session.run", kind=spec.kind):
+                result = self._execute(spec)
+                self._flush_collectors()
+            self._attach_telemetry(result, start_events, baseline)
+        return result
+
+    def _execute(self, spec: ExperimentSpec) -> RunResult:
+        """Serve one coerced spec from the run store or compute it."""
         cacheable = (self.run_store is not None
                      and spec.kind in _CACHEABLE_KINDS)
         if cacheable:
             key = self.run_key(spec)
-            cached = self.run_store.get(spec, key=key)
+            with obs.span("run_store.lookup", kind=spec.kind):
+                cached = self.run_store.get(spec, key=key)
             if cached is not None:
                 cached.cached = True
                 return cached
         runner = getattr(self, f"_run_{spec.kind}")
-        result = RunResult(spec=spec, data=runner(spec.params))
+        with obs.span(f"run.{spec.kind}"):
+            result = RunResult(spec=spec, data=runner(spec.params))
         if cacheable:
-            self.run_store.put(result, key=key)
+            with obs.span("run_store.put", kind=spec.kind):
+                self.run_store.put(result, key=key)
         return result
+
+    def _flush_collectors(self) -> None:
+        """Publish pending cache/store counters into the active registry.
+
+        Covers every always-on collector the session owns: each model
+        variant's :class:`ModelCache`, the :class:`ProfileStore` and
+        the :class:`RunStore`.  A no-op while metrics are disabled (the
+        plain-int counters keep accumulating for a later flush).
+        """
+        metrics = obs.metrics()
+        if not metrics.enabled:
+            return
+        for model in self._models.values():
+            if model.cache is not None:
+                model.cache.flush_metrics(metrics)
+        if self.profile_store is not None:
+            self.profile_store.flush_metrics(metrics)
+        if self.run_store is not None:
+            self.run_store.flush_metrics(metrics)
+
+    def _attach_telemetry(
+        self,
+        result: RunResult,
+        start_events: int,
+        baseline: Optional[Dict[str, Any]],
+    ) -> None:
+        """Attach this run's telemetry block to its result.
+
+        The block covers *this* run only: spans recorded since
+        ``start_events`` and the metrics delta against ``baseline``
+        (the registry snapshot taken as the run began).  Nothing is
+        attached while telemetry is disabled.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        block: Dict[str, Any] = {}
+        if telemetry.tracer.enabled:
+            events = list(telemetry.tracer.events)[start_events:]
+            block["spans"] = obs.span_stats(events)
+        if telemetry.metrics.enabled:
+            block["metrics"] = telemetry.metrics.diff(baseline)
+        result.telemetry = block
 
     def run_many(
         self,
@@ -395,27 +471,31 @@ class Session:
             store = ProfileStore(params["store"])
         entries = []
         for name in params["workloads"]:
-            started = time.perf_counter()
-            profile = self.profile_workload(
-                name,
-                instructions=params["instructions"],
-                micro_trace=params["micro_trace"],
-                window=params["window"],
-                trace_seed=params["seed"],
-                reuse_sample_rate=params["reuse_sample_rate"],
-                reuse_seed=params["reuse_seed"],
-            )
-            key = store.warm(profile) if store is not None else None
-            if params["output"]:
-                save_profile(profile, params["output"])
+            # The span is both the telemetry record and the payload's
+            # "seconds" field -- one measurement, no way to disagree.
+            with obs.span("profile.workload", workload=name) as span:
+                profile = self.profile_workload(
+                    name,
+                    instructions=params["instructions"],
+                    micro_trace=params["micro_trace"],
+                    window=params["window"],
+                    trace_seed=params["seed"],
+                    reuse_sample_rate=params["reuse_sample_rate"],
+                    reuse_seed=params["reuse_seed"],
+                )
+                key = store.warm(profile) if store is not None else None
+                if params["output"]:
+                    save_profile(profile, params["output"])
             entries.append({
                 "workload": name,
                 "instructions": profile.num_instructions,
                 "micro_traces": len(profile.micro_traces),
                 "fingerprint": key,
                 "output": params["output"],
-                "seconds": round(time.perf_counter() - started, 6),
+                "seconds": round(span.seconds, 6),
             })
+        if store is not None:
+            store.flush_metrics(obs.metrics())
         return {
             "store": params["store"],
             "sampling": {

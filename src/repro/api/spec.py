@@ -9,10 +9,11 @@ the same content-addressed fingerprint no matter how sparsely they were
 written; that fingerprint is the cache key of the on-disk
 :class:`~repro.api.runstore.RunStore`.
 
-Execution resources (worker counts, pools, caches) are deliberately
-*not* part of a spec: results are bitwise identical at any worker
-count, so the same experiment run on a different machine shape is still
-the same experiment.
+Execution resources (worker counts, pools, caches, telemetry) are
+deliberately *not* part of a spec: results are bitwise identical at any
+worker count and whether or not the run was observed (``--trace`` /
+``--metrics``), so the same experiment run on a different machine shape
+is still the same experiment.
 
 Examples
 --------

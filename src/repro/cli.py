@@ -40,6 +40,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.api import (
     ExperimentSpec,
     Session,
@@ -71,6 +72,32 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="clock frequency in GHz")
     parser.add_argument("--prefetch", action="store_true",
                         help="enable the stride prefetcher")
+
+
+def _add_telemetry_arguments(
+    parser: argparse.ArgumentParser, suppress: bool = False
+) -> None:
+    """Add the global ``--trace`` / ``--metrics`` telemetry flags.
+
+    The flags live on the root parser (with real defaults) *and* on
+    every subcommand with ``default=argparse.SUPPRESS``, so they can be
+    written either before or after the subcommand without the
+    subparser's default clobbering a root-level value.
+    """
+    trace_kwargs = ({"default": argparse.SUPPRESS} if suppress
+                    else {"default": None})
+    metrics_kwargs = ({"default": argparse.SUPPRESS} if suppress
+                      else {"default": False})
+    parser.add_argument(
+        "--trace", metavar="FILE.json", dest="trace", **trace_kwargs,
+        help="record wall-time spans and export a Chrome "
+             "trace_event file (open in chrome://tracing / Perfetto, "
+             "or summarize with 'repro stats')")
+    parser.add_argument(
+        "--metrics", action="store_true", dest="metrics",
+        **metrics_kwargs,
+        help="print a telemetry summary (span table, cache/store "
+             "counters) after the command")
 
 
 def _error(message: str) -> int:
@@ -157,10 +184,11 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    trace = generate_trace(
-        make_workload(args.workload, seed=args.seed),
-        max_instructions=args.instructions,
-    )
+    with obs.span("workloads.trace", workload=args.workload):
+        trace = generate_trace(
+            make_workload(args.workload, seed=args.seed),
+            max_instructions=args.instructions,
+        )
     config = config_from_overrides(
         width=args.width,
         rob=args.rob,
@@ -168,7 +196,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         frequency=args.frequency,
         prefetch=args.prefetch,
     )
-    result = simulate(trace, config)
+    with obs.span("simulate.run", workload=args.workload,
+                  config=config.name):
+        result = simulate(trace, config)
+    obs.metrics().inc("sim.points")
     print(f"workload:  {trace.name}")
     print(f"config:    {config.name}")
     print(f"cycles:    {result.cycles:.0f}")
@@ -391,6 +422,80 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _span_table_lines(spans) -> List[str]:
+    """Fixed-width table of aggregated span stats (name-keyed dicts)."""
+    lines = [f"{'span':<28} {'calls':>6} {'total ms':>10} "
+             f"{'mean ms':>10} {'max ms':>10}"]
+    for name, record in spans.items():
+        lines.append(
+            f"{name:<28} {record['calls']:>6d} "
+            f"{record['total_ms']:>10.2f} {record['mean_ms']:>10.2f} "
+            f"{record['max_ms']:>10.2f}"
+        )
+    return lines
+
+
+def _metrics_lines(metrics) -> List[str]:
+    """Readable lines for one metrics snapshot (or delta)."""
+    lines: List[str] = []
+    if metrics.get("counters"):
+        lines.append("counters:")
+        for name, value in metrics["counters"].items():
+            lines.append(f"  {name:<36} {value}")
+    if metrics.get("gauges"):
+        lines.append("gauges:")
+        for name, value in metrics["gauges"].items():
+            lines.append(f"  {name:<36} {value}")
+    if metrics.get("histograms"):
+        lines.append("histograms:")
+        for name, record in metrics["histograms"].items():
+            mean = (record["sum"] / record["count"]
+                    if record["count"] else 0.0)
+            lines.append(
+                f"  {name:<36} count={record['count']} "
+                f"mean={mean:.6g} min={record['min']:.6g} "
+                f"max={record['max']:.6g}"
+            )
+    return lines
+
+
+def _render_telemetry(telemetry) -> None:
+    """Print the ``--metrics`` summary: span table + metric values."""
+    summary = telemetry.summary()
+    print("-- telemetry " + "-" * 47)
+    if summary["spans"]:
+        print("\n".join(_span_table_lines(summary["spans"])))
+    lines = _metrics_lines(summary["metrics"])
+    if lines:
+        print("\n".join(lines))
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        events = obs.read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        return _error(f"{args.trace_file}: {exc}")
+    spans = obs.span_stats(events)
+    metrics = None
+    for event in events:
+        if event.get("name") == obs.METRICS_EVENT:
+            metrics = event.get("args", {}).get("metrics")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"spans": spans, "metrics": metrics},
+                      handle, indent=2)
+        print(f"stats -> {args.json}")
+        return 0
+    n_events = sum(1 for e in events if e.get("ph") == "X")
+    print(f"{args.trace_file}: {n_events} span event(s), "
+          f"{len(spans)} distinct span(s)")
+    if spans:
+        print("\n".join(_span_table_lines(spans)))
+    if metrics:
+        print("\n".join(_metrics_lines(metrics)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -399,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
             "performance and power modeling (ISPASS 2015 reproduction)"
         ),
     )
+    _add_telemetry_arguments(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sub = subparsers.add_parser("workloads",
@@ -579,13 +685,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "list")
     sub.set_defaults(func=cmd_run)
 
+    sub = subparsers.add_parser(
+        "stats",
+        help="summarize a --trace file: span table + recorded metrics")
+    sub.add_argument("trace_file", metavar="TRACE.json",
+                     help="trace file written by --trace")
+    sub.add_argument("--json", default=None, metavar="OUT.json",
+                     help="write the span/metrics summary as JSON")
+    sub.set_defaults(func=cmd_stats)
+
+    # The global telemetry flags work before or after the subcommand
+    # (SUPPRESS keeps a subcommand-less occurrence authoritative).
+    for sub in subparsers.choices.values():
+        _add_telemetry_arguments(sub, suppress=True)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if trace_path is None and not want_metrics:
+        return args.func(args)
+    # Either flag lights up the whole layer: spans feed both the trace
+    # file and the --metrics span table, and the metrics registry
+    # feeds the summary and the trace's trailing metrics event.
+    telemetry = obs.Telemetry(trace=True, metrics=True)
+    with obs.activate(telemetry):
+        status = args.func(args)
+    if trace_path is not None:
+        telemetry.tracer.export(trace_path, metrics=telemetry.metrics)
+        print(f"trace -> {trace_path}")
+    if want_metrics:
+        _render_telemetry(telemetry)
+    return status
 
 
 if __name__ == "__main__":

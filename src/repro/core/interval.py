@@ -68,11 +68,26 @@ class ModelCache:
     A cache is typically owned by one sweep (the sweep engine attaches a
     fresh one per run / per worker process); share one across sweeps only
     while the profile objects stay alive.
+
+    Accounting: :attr:`hits` / :attr:`misses` count every :meth:`get`
+    unconditionally (two plain integer adds -- results and wall-time
+    are unaffected), and :meth:`flush_metrics` publishes the deltas
+    accumulated since the previous flush into a
+    :class:`~repro.obs.metrics.MetricsRegistry` under
+    ``model_cache.hits`` / ``model_cache.misses``.  Engines flush at
+    batch boundaries, so worker-side caches ship their counts back
+    piggybacked on result messages (see :mod:`repro.api.pool`).
     """
 
     def __init__(self) -> None:
         self._memo: Dict[Tuple, object] = {}
         self._pins: Dict[int, object] = {}
+        #: Lifetime memo lookups answered from the memo.
+        self.hits = 0
+        #: Lifetime memo lookups that had to compute.
+        self.misses = 0
+        self._flushed_hits = 0
+        self._flushed_misses = 0
 
     def token(self, profile: "ApplicationProfile") -> int:
         """A key component identifying ``profile`` for this cache's life."""
@@ -84,17 +99,44 @@ class ModelCache:
     def get(self, key: Tuple, compute: Callable[[], object]) -> object:
         """The memoized value for ``key``, computing it on first use."""
         try:
-            return self._memo[key]
+            value = self._memo[key]
         except KeyError:
+            self.misses += 1
             value = compute()
             self._memo[key] = value
             return value
+        self.hits += 1
+        return value
 
     def __len__(self) -> int:
         return len(self._memo)
 
+    def flush_metrics(self, metrics) -> None:
+        """Publish hit/miss counts accumulated since the last flush.
+
+        Increments ``model_cache.hits`` / ``model_cache.misses`` on
+        ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry` or
+        the no-op default) by the deltas since the previous flush, so
+        repeated flushing never double-counts.  Flushing into a
+        disabled registry is a no-op that keeps the deltas pending.
+        """
+        if not metrics.enabled:
+            return
+        delta_hits = self.hits - self._flushed_hits
+        delta_misses = self.misses - self._flushed_misses
+        if delta_hits:
+            metrics.inc("model_cache.hits", delta_hits)
+            self._flushed_hits = self.hits
+        if delta_misses:
+            metrics.inc("model_cache.misses", delta_misses)
+            self._flushed_misses = self.misses
+
     def clear(self) -> None:
-        """Drop all memoized values and pinned profiles."""
+        """Drop all memoized values and pinned profiles.
+
+        Accounting survives: :attr:`hits` / :attr:`misses` are lifetime
+        counters and keep counting across clears.
+        """
         self._memo.clear()
         self._pins.clear()
 

@@ -48,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.backends import resolve_model_backend
 from repro.core.interval import ModelCache
 from repro.core.machine import MachineConfig
@@ -99,15 +100,21 @@ def _run_shared_batch(state, task: Tuple[int, int, int]):
     attaching a :class:`~repro.core.interval.ModelCache` on the first
     batch gives every later batch of the same sweep a warm cache --
     exactly what :func:`_init_worker` does for per-call pools.
+
+    Cache hit/miss deltas are flushed into the active (worker-local)
+    metrics registry after each batch, so they ride back to the parent
+    piggybacked on this batch's result message.
     """
     model, profiles, configs, backend = state
     if model.cache is None:
         model.cache = ModelCache()
     profile_index, start, stop = task
     profile = profiles[profile_index]
-    return model.predict_batch(
+    results = model.predict_batch(
         profile, configs[start:stop], backend=backend
     )
+    model.cache.flush_metrics(obs.metrics())
+    return results
 
 
 class SweepEngine:
@@ -212,19 +219,22 @@ class SweepEngine:
             The store fingerprint per profile (``None`` without a store).
         """
         keys: List[Optional[str]] = []
-        for profile in profiles:
-            prepared = self._prepared.get(id(profile))
-            if prepared is not None and prepared[0] is profile:
-                keys.append(prepared[1])
-                continue
+        with obs.span("engine.prepare", profiles=len(profiles)):
+            for profile in profiles:
+                prepared = self._prepared.get(id(profile))
+                if prepared is not None and prepared[0] is profile:
+                    keys.append(prepared[1])
+                    continue
+                if self.store is not None:
+                    key = self.store.warm(profile)
+                else:
+                    profile.statstack()
+                    profile.instruction_statstack()
+                    key = None
+                self._prepared[id(profile)] = (profile, key)
+                keys.append(key)
             if self.store is not None:
-                key = self.store.warm(profile)
-            else:
-                profile.statstack()
-                profile.instruction_statstack()
-                key = None
-            self._prepared[id(profile)] = (profile, key)
-            keys.append(key)
+                self.store.flush_metrics(obs.metrics())
         return keys
 
     def _batches(
@@ -267,22 +277,31 @@ class SweepEngine:
         # Resolve (and validate) the backend before any evaluation, so
         # a bad name fails fast instead of mid-sweep.
         backend = resolve_model_backend(self.backend)
-        self.prepare(profiles)
-        # Per-run cache unless the caller attached their own: the
-        # caller's model is left exactly as it was handed to us.
-        attached = False
-        if self.model.cache is None:
-            self.model.cache = ModelCache()
-            attached = True
-        try:
-            if (self.effective_workers() <= 1
-                    or not profiles or not configs):
-                yield from self._iter_serial(profiles, configs, backend)
-            else:
-                yield from self._iter_parallel(profiles, configs, backend)
-        finally:
-            if attached:
-                self.model.cache = None
+        with obs.span(
+            "engine.sweep",
+            profiles=len(profiles),
+            configs=len(configs),
+            workers=self.effective_workers(),
+            backend=backend,
+        ):
+            self.prepare(profiles)
+            # Per-run cache unless the caller attached their own: the
+            # caller's model is left exactly as it was handed to us.
+            attached = False
+            if self.model.cache is None:
+                self.model.cache = ModelCache()
+                attached = True
+            try:
+                if (self.effective_workers() <= 1
+                        or not profiles or not configs):
+                    yield from self._iter_serial(profiles, configs, backend)
+                else:
+                    yield from self._iter_parallel(
+                        profiles, configs, backend
+                    )
+            finally:
+                if attached:
+                    self.model.cache = None
 
     def sweep(
         self,
@@ -313,6 +332,7 @@ class SweepEngine:
     ) -> Iterator["DesignPoint"]:
         from repro.explore.dse import DesignPoint
 
+        metrics = obs.metrics()
         total = len(profiles) * len(configs)
         done = 0
         for profile_index, start, stop in self._batches(
@@ -322,6 +342,9 @@ class SweepEngine:
             results = self.model.predict_batch(
                 profile, configs[start:stop], backend=backend
             )
+            metrics.inc("engine.batches")
+            metrics.inc("engine.points", len(results))
+            self.model.cache.flush_metrics(metrics)
             for offset, result in enumerate(results):
                 point = DesignPoint(
                     workload=profile.name,
@@ -373,12 +396,15 @@ class SweepEngine:
             if self.model.cache is None:
                 self.model.cache = cache
 
+        metrics = obs.metrics()
         total = len(profiles) * len(configs)
         done = 0
         with pool:
             for (profile_index, start, _), results in zip(
                 tasks, pool.imap(_run_batch, tasks)
             ):
+                metrics.inc("engine.batches")
+                metrics.inc("engine.points", len(results))
                 name = profiles[profile_index].name
                 for offset, result in enumerate(results):
                     done += 1
@@ -426,9 +452,12 @@ class SweepEngine:
             if self.model.cache is None:
                 self.model.cache = cache
 
+        metrics = obs.metrics()
         total = len(profiles) * len(configs)
         done = 0
         for (profile_index, start, _), results in zip(tasks, stream):
+            metrics.inc("engine.batches")
+            metrics.inc("engine.points", len(results))
             name = profiles[profile_index].name
             for offset, result in enumerate(results):
                 done += 1

@@ -35,10 +35,10 @@ from __future__ import annotations
 
 import math
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core.interval import ModelCache
 from repro.explore.dse import DesignPoint
 from repro.explore.engine import SweepEngine
@@ -375,12 +375,14 @@ class SearchProblem:
         list of float or None
             Fitness per input point (``None`` = not evaluated).
         """
+        metrics = obs.metrics()
         results: List[Optional[float]] = [None] * len(points)
         order: Dict[Tuple, int] = {}  # new key -> index into batch
         batch: List[Dict[str, object]] = []
         for position, point in enumerate(points):
             key = self.space.key(point)
             if key in self._cache:
+                metrics.inc("search.fitness_cache_hits")
                 results[position] = self._cache[key]
             elif key not in order:
                 if budget is None or budget.try_consume(1):
@@ -389,6 +391,7 @@ class SearchProblem:
                 else:
                     order[key] = -1  # over budget: stays None
         if batch:
+            metrics.inc("search.evaluations", len(batch))
             for point, fitness in zip(batch, self._evaluate_batch(batch)):
                 self._cache[self.space.key(point)] = fitness
                 if trajectory is not None:
@@ -509,21 +512,24 @@ class Optimizer:
             optimizer=self.name, seed=self.seed,
             objective=problem.objective.name,
         )
-        started = time.perf_counter()
-        state = self._start(problem, rng)
-        stagnant = 0
-        while not budget.exhausted:
-            before = len(trajectory)
-            points = self._propose(problem, rng, state)
-            fitness = problem.evaluate(points, budget, trajectory)
-            self._observe(problem, rng, state, points, fitness)
-            if len(trajectory) == before:
-                stagnant += 1
-                if stagnant >= self.max_stagnant_rounds:
-                    break
-            else:
-                stagnant = 0
-        trajectory.wall_seconds = time.perf_counter() - started
+        # The span is the single timing source: wall_seconds and any
+        # exported telemetry are the same measurement by construction.
+        with obs.span("search.run", optimizer=self.name,
+                      seed=self.seed) as span:
+            state = self._start(problem, rng)
+            stagnant = 0
+            while not budget.exhausted:
+                before = len(trajectory)
+                points = self._propose(problem, rng, state)
+                fitness = problem.evaluate(points, budget, trajectory)
+                self._observe(problem, rng, state, points, fitness)
+                if len(trajectory) == before:
+                    stagnant += 1
+                    if stagnant >= self.max_stagnant_rounds:
+                        break
+                else:
+                    stagnant = 0
+        trajectory.wall_seconds = span.seconds
         return trajectory
 
 

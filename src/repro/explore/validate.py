@@ -43,6 +43,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.core.machine import MachineConfig
 from repro.core.model import AnalyticalModel
 from repro.core.power import PowerBreakdown, PowerModel
@@ -248,11 +249,17 @@ class SimulationSweep:
         """
         traces = list(traces)
         configs = list(configs)
-        if (self.effective_workers() <= 1
-                or not traces or not configs):
-            yield from self._iter_serial(traces, configs)
-        else:
-            yield from self._iter_parallel(traces, configs)
+        with obs.span(
+            "sim.sweep",
+            traces=len(traces),
+            configs=len(configs),
+            workers=self.effective_workers(),
+        ):
+            if (self.effective_workers() <= 1
+                    or not traces or not configs):
+                yield from self._iter_serial(traces, configs)
+            else:
+                yield from self._iter_parallel(traces, configs)
 
     def _fold(
         self, trace: Trace, config: MachineConfig,
@@ -270,12 +277,14 @@ class SimulationSweep:
         traces: Sequence[Trace],
         configs: Sequence[MachineConfig],
     ) -> Iterator[SimulatedPoint]:
+        metrics = obs.metrics()
         total = len(traces) * len(configs)
         done = 0
         for trace in traces:
             for config in configs:
                 point = self._fold(trace, config,
                                    simulate(trace, config))
+                metrics.inc("sim.points")
                 done += 1
                 if self.progress is not None:
                     self.progress(done, total)
@@ -310,12 +319,15 @@ class SimulationSweep:
             yield from self._iter_serial(traces, configs)
             return
 
+        metrics = obs.metrics()
         total = len(traces) * len(configs)
         done = 0
         with pool:
             for (trace_index, start, _), results in zip(
                 tasks, pool.imap(_run_sim_batch, tasks)
             ):
+                metrics.inc("sim.batches")
+                metrics.inc("sim.points", len(results))
                 trace = traces[trace_index]
                 for offset, result in enumerate(results):
                     done += 1
@@ -351,9 +363,12 @@ class SimulationSweep:
             yield from self._iter_serial(traces, configs)
             return
 
+        metrics = obs.metrics()
         total = len(traces) * len(configs)
         done = 0
         for (trace_index, start, _), results in zip(tasks, stream):
+            metrics.inc("sim.batches")
+            metrics.inc("sim.points", len(results))
             trace = traces[trace_index]
             for offset, result in enumerate(results):
                 done += 1
@@ -936,8 +951,10 @@ class ValidationCampaign:
         model_results: Dict[str, List[DesignPoint]] = {
             p.name: [] for p in profiles
         }
-        for point in self.engine.iter_sweep(profiles, self.configs):
-            model_results[point.workload].append(point)
+        with obs.span("validate.model_sweep", workloads=len(profiles),
+                      configs=n):
+            for point in self.engine.iter_sweep(profiles, self.configs):
+                model_results[point.workload].append(point)
 
         report = ValidationReport(
             space_name=self.space_name,
@@ -951,15 +968,17 @@ class ValidationCampaign:
         # completes every n points; fold it immediately.
         pending: List[SimulatedPoint] = []
         case_index = 0
-        for point in self.simulation.iter_sweep(traces, self.configs):
-            pending.append(point)
-            if len(pending) == n:
-                case = self.cases[case_index]
-                report.workloads.append(self._validate_workload(
-                    case, model_results[case.profile.name], pending
-                ))
-                pending = []
-                case_index += 1
+        with obs.span("validate.sim_sweep", workloads=len(traces),
+                      configs=n):
+            for point in self.simulation.iter_sweep(traces, self.configs):
+                pending.append(point)
+                if len(pending) == n:
+                    case = self.cases[case_index]
+                    report.workloads.append(self._validate_workload(
+                        case, model_results[case.profile.name], pending
+                    ))
+                    pending = []
+                    case_index += 1
         if pending:
             raise RuntimeError(
                 f"simulation stream ended mid-workload: "

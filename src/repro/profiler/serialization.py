@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from collections import Counter
 from typing import Any, Dict, IO, Optional, Union
@@ -35,6 +36,8 @@ from repro.statstack.reuse import ReuseProfile
 from repro.isa import UopKind
 
 FORMAT_VERSION = 1
+
+logger = logging.getLogger(__name__)
 
 
 def _int_key_dict(mapping: Dict) -> Dict[str, Any]:
@@ -371,10 +374,28 @@ class ProfileStore:
     ----------
     root:
         Directory for the store; created on first use.
+
+    Accounting: :attr:`tables_hits` / :attr:`tables_misses` /
+    :attr:`tables_corrupt` and :attr:`profiles_stored` count store
+    traffic unconditionally (plain integer adds), and
+    :meth:`flush_metrics` publishes the deltas since the previous
+    flush under ``profile_store.*`` metric names.  Corrupt table files
+    additionally emit a ``logging`` warning (logger
+    ``repro.profiler.serialization``) before being treated as misses.
     """
 
     def __init__(self, root: str) -> None:
         self.root = root
+        #: Lifetime StatStack-table loads served from disk.
+        self.tables_hits = 0
+        #: Lifetime StatStack-table loads that had to recompute.
+        self.tables_misses = 0
+        #: Lifetime table files that existed but failed to parse.
+        self.tables_corrupt = 0
+        #: Lifetime profile writes that created a new store entry.
+        self.profiles_stored = 0
+        self._flushed = {"tables_hits": 0, "tables_misses": 0,
+                         "tables_corrupt": 0, "profiles_stored": 0}
 
     # -- paths ----------------------------------------------------------
 
@@ -395,6 +416,7 @@ class ProfileStore:
         if not os.path.exists(path):
             os.makedirs(self.root, exist_ok=True)
             save_profile(profile, path)
+            self.profiles_stored += 1
         return key
 
     def get(self, key: str) -> ApplicationProfile:
@@ -407,14 +429,25 @@ class ProfileStore:
     # -- derived state --------------------------------------------------
 
     def load_tables(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached StatStack tables for ``key``, or ``None``."""
+        """The cached StatStack tables for ``key``, or ``None``.
+
+        A table file that exists but cannot be read or parsed counts
+        as :attr:`tables_corrupt` and logs a warning (the caller
+        recomputes and overwrites it, healing the store); a genuinely
+        absent file is a silent plain miss.
+        """
         path = self.tables_path(key)
         if not os.path.exists(path):
             return None
         try:
             with open(path) as handle:
                 return json.load(handle)
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            self.tables_corrupt += 1
+            logger.warning(
+                "corrupt StatStack table entry %s (%s); recomputing",
+                path, exc,
+            )
             return None
 
     def save_tables(self, key: str, tables: Dict[str, Any]) -> None:
@@ -442,6 +475,7 @@ class ProfileStore:
         key = self.put(profile)
         cached = self.load_tables(key)
         if cached is not None:
+            self.tables_hits += 1
             profile._statstack = StatStack.from_tables(
                 profile.reuse, cached.get("data", {})
             )
@@ -449,9 +483,30 @@ class ProfileStore:
                 profile.instruction_reuse, cached.get("instruction", {})
             )
         else:
+            self.tables_misses += 1
             self.save_tables(key, {
                 "data": profile.statstack().export_tables(),
                 "instruction":
                     profile.instruction_statstack().export_tables(),
             })
         return key
+
+    def flush_metrics(self, metrics) -> None:
+        """Publish store counters accumulated since the last flush.
+
+        Increments ``profile_store.tables_hits`` /
+        ``profile_store.tables_misses`` / ``profile_store.tables_corrupt``
+        / ``profile_store.profiles_stored`` on ``metrics`` by the deltas
+        since the previous flush (repeated flushing never
+        double-counts).  Flushing into a disabled registry is a no-op
+        that keeps the deltas pending.
+        """
+        if not metrics.enabled:
+            return
+        for attr in ("tables_hits", "tables_misses", "tables_corrupt",
+                     "profiles_stored"):
+            value = getattr(self, attr)
+            delta = value - self._flushed[attr]
+            if delta:
+                metrics.inc(f"profile_store.{attr}", delta)
+                self._flushed[attr] = value

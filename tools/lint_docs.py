@@ -19,6 +19,7 @@ from pathlib import Path
 DEFAULT_TARGETS = [
     "src/repro/explore",
     "src/repro/api",
+    "src/repro/obs",
     "src/repro/core/model.py",
 ]
 
