@@ -1,0 +1,521 @@
+"""A cross-module call graph built purely from the AST.
+
+The graph is the shared substrate of every flow-sensitive rule: the
+nondeterminism-taint rule walks it forward from fingerprint/cache sinks
+to prove no wall-clock or hash-order source is reachable, and the
+worker-shipping rule walks it from pool dispatch sites to prove shipped
+callables stay pure.
+
+Resolution is deliberately conservative and syntactic -- no imports are
+executed, no types inferred beyond what the source spells out:
+
+* bare names resolve through function-local ``def``s, module-level
+  bindings, then ``import`` aliases;
+* dotted chains (``time.perf_counter``, ``np.random.rand``) have their
+  base alias expanded to the real module path and are recorded as
+  *external references* even when the target is not part of the
+  analyzed tree;
+* ``self.method()`` resolves within the enclosing class;
+* ``x.method()`` resolves when ``x`` is locally constructed from an
+  analyzed class (``x = Thing(...)``), when the parameter is annotated
+  with an analyzed class name, or -- as a last resort -- when exactly
+  one analyzed class defines a method of that name (the unique-name
+  fallback; ambiguous names produce no edge rather than a guess).
+
+Everything iterates in sorted order: the analyzer must itself satisfy
+the determinism contract it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "dotted_parts",
+    "module_name_for",
+]
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """The ``a.b.c`` parts of a Name/Attribute chain, or ``None``.
+
+    Chains hanging off calls or subscripts (``f().x``, ``d[k].y``) are
+    not simple references and return ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of a source file, inferred from packages.
+
+    Walks up from the file while ``__init__.py`` siblings exist, so
+    ``src/repro/api/pool.py`` maps to ``repro.api.pool`` regardless of
+    where the tree is checked out.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body.
+
+    Attributes
+    ----------
+    text:
+        The source-level dotted rendering (``self.put``, ``time.time``).
+    external:
+        The alias-expanded dotted name (``numpy.random.rand`` for
+        ``np.random.rand``); ``None`` when the callee is not a simple
+        name chain.
+    resolved:
+        Qualified names of analyzed functions this call may target
+        (empty when the callee is external or unresolvable).
+    lineno:
+        1-based source line of the call.
+    node:
+        The :class:`ast.Call` node itself.
+    """
+
+    text: str
+    external: Optional[str]
+    resolved: Tuple[str, ...]
+    lineno: int
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function or method.
+
+    ``qualname`` is ``module.Class.name`` for methods and
+    ``module.name`` for module-level functions; nested functions append
+    their own name to the enclosing function's qualname.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    cls: Optional[str]
+    path: str
+    lineno: int
+    node: ast.AST
+    is_nested: bool = False
+    calls: List[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """One analyzed source file: bindings, imports, functions, AST."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: import alias -> fully qualified dotted target.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: every name bound at module level (defs, classes, assigns, imports).
+    bindings: Dict[str, int] = field(default_factory=dict)
+    #: names defined (not imported) at module level -> line.
+    defined: Dict[str, int] = field(default_factory=dict)
+    #: class bare name -> {method bare name -> function qualname}.
+    classes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: the literal ``__all__`` list, when one is declared.
+    dunder_all: Optional[List[str]] = None
+    #: line of the ``__all__`` assignment (for findings).
+    dunder_all_line: int = 0
+    functions: List[str] = field(default_factory=list)
+
+    def qualify(self, parts: Sequence[str]) -> List[str]:
+        """Expand the chain's base through this module's import map."""
+        if parts and parts[0] in self.imports:
+            return self.imports[parts[0]].split(".") + list(parts[1:])
+        return list(parts)
+
+
+class CallGraph:
+    """Functions, modules and resolved call edges for a file set.
+
+    Build with :meth:`build`; then :attr:`functions` maps qualified
+    names to :class:`FunctionInfo` (each carrying its resolved
+    :class:`CallSite` list) and :attr:`modules` maps dotted module
+    names to :class:`ModuleInfo`.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: bare method name -> sorted qualnames of analyzed methods.
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: bare class name -> sorted qualnames of analyzed classes.
+        self.classes_by_name: Dict[str, List[str]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, files: Sequence[Tuple[str, str, ast.Module]]
+    ) -> "CallGraph":
+        """Build the graph from ``(path, module name, parsed AST)`` triples.
+
+        ``path`` is the repo-relative reporting path; the dotted module
+        name is supplied by the caller (usually via
+        :func:`module_name_for` on the absolute location, so package
+        detection works regardless of the working directory).
+        """
+        graph = cls()
+        for path, name, tree in files:
+            graph._collect_module(path, name, tree)
+        for qualname in sorted(graph.functions):
+            graph._resolve_calls(graph.functions[qualname])
+        return graph
+
+    def _collect_module(self, path: str, name: str,
+                        tree: ast.Module) -> None:
+        module = ModuleInfo(name=name, path=path, tree=tree)
+        self.modules[name] = module
+        self._collect_scope(module, tree.body, qualprefix=name, cls=None,
+                            toplevel=True)
+
+    def _collect_scope(self, module: ModuleInfo, body: Sequence[ast.stmt],
+                       qualprefix: str, cls: Optional[str],
+                       toplevel: bool, nested: bool = False) -> None:
+        """Register bindings and function defs for one statement list.
+
+        ``toplevel`` statements contribute to the module's binding /
+        export maps; ``If``/``Try``/``With``/loop bodies at module
+        level are walked as module scope too (conditional imports and
+        version-gated definitions still bind module names).
+        """
+        for stmt in body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                self._collect_import(module, stmt, toplevel)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(module, stmt, qualprefix, cls,
+                                       toplevel, nested)
+            elif isinstance(stmt, ast.ClassDef):
+                self._collect_class(module, stmt, qualprefix, toplevel)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if toplevel:
+                    self._collect_assign(module, stmt)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For,
+                                   ast.While)):
+                for sub in self._stmt_bodies(stmt):
+                    self._collect_scope(module, sub, qualprefix, cls,
+                                        toplevel, nested)
+
+    @staticmethod
+    def _stmt_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        """Every statement list nested directly under a compound stmt."""
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if sub:
+                bodies.append(sub)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        return bodies
+
+    def _collect_import(self, module: ModuleInfo, stmt: ast.stmt,
+                        toplevel: bool) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else bound
+                if toplevel:
+                    module.imports[bound] = target
+                    module.bindings[bound] = stmt.lineno
+        elif isinstance(stmt, ast.ImportFrom):
+            base = self._import_base(module, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                if toplevel:
+                    module.imports[bound] = f"{base}.{alias.name}"
+                    module.bindings[bound] = stmt.lineno
+
+    @staticmethod
+    def _import_base(module: ModuleInfo, stmt: ast.ImportFrom) -> str:
+        """The absolute package a ``from ... import`` resolves against."""
+        if not stmt.level:
+            return stmt.module or ""
+        parts = module.name.split(".")
+        is_package = module.path.endswith("__init__.py")
+        if not is_package:
+            parts = parts[:-1]
+        if stmt.level > 1:
+            parts = parts[:-(stmt.level - 1)] if stmt.level - 1 else parts
+        base = ".".join(parts)
+        if stmt.module:
+            base = f"{base}.{stmt.module}" if base else stmt.module
+        return base
+
+    def _collect_function(self, module: ModuleInfo, node: ast.AST,
+                          qualprefix: str, cls: Optional[str],
+                          toplevel: bool, nested: bool) -> None:
+        qualname = f"{qualprefix}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname, module=module.name, name=node.name,
+            cls=cls, path=module.path, lineno=node.lineno, node=node,
+            is_nested=nested,
+        )
+        self.functions[qualname] = info
+        module.functions.append(qualname)
+        if cls is not None and not nested:
+            module.classes.setdefault(cls, {})[node.name] = qualname
+            self.methods_by_name.setdefault(node.name, []).append(qualname)
+        if toplevel and cls is None:
+            module.bindings[node.name] = node.lineno
+            module.defined[node.name] = node.lineno
+        # Nested defs are functions in their own right.
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(module, stmt, qualname, cls,
+                                       toplevel=False, nested=True)
+
+    def _collect_class(self, module: ModuleInfo, node: ast.ClassDef,
+                       qualprefix: str, toplevel: bool) -> None:
+        qualname = f"{qualprefix}.{node.name}"
+        module.classes.setdefault(node.name, {})
+        self.classes_by_name.setdefault(node.name, []).append(qualname)
+        if toplevel:
+            module.bindings[node.name] = node.lineno
+            module.defined[node.name] = node.lineno
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(module, stmt, qualname,
+                                       cls=node.name, toplevel=False,
+                                       nested=False)
+
+    def _collect_assign(self, module: ModuleInfo, stmt: ast.stmt) -> None:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module.bindings[target.id] = stmt.lineno
+                module.defined[target.id] = stmt.lineno
+                if target.id == "__all__" and isinstance(stmt, ast.Assign):
+                    names = _literal_strings(stmt.value)
+                    if names is not None:
+                        module.dunder_all = names
+                        module.dunder_all_line = stmt.lineno
+            elif isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        module.bindings[elt.id] = stmt.lineno
+                        module.defined[elt.id] = stmt.lineno
+
+    # -- call resolution ------------------------------------------------
+
+    def _resolve_calls(self, info: FunctionInfo) -> None:
+        module = self.modules[info.module]
+        local_types = _local_instance_types(info.node, module, self)
+        local_defs = {
+            stmt.name: f"{info.qualname}.{stmt.name}"
+            for stmt in info.node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if parts is None:
+                continue
+            text = ".".join(parts)
+            external = ".".join(module.qualify(parts))
+            resolved = self._resolve_target(
+                parts, info, module, local_types, local_defs
+            )
+            if resolved:
+                external = None
+            info.calls.append(CallSite(
+                text=text, external=external,
+                resolved=tuple(sorted(resolved)),
+                lineno=node.lineno, node=node,
+            ))
+
+    def _resolve_target(self, parts: Sequence[str], info: FunctionInfo,
+                        module: ModuleInfo,
+                        local_types: Dict[str, str],
+                        local_defs: Dict[str, str]) -> List[str]:
+        """Analyzed-function targets for one callee chain (may be [])."""
+        if len(parts) == 1:
+            return self._resolve_bare(parts[0], info, module, local_defs)
+        base, rest = parts[0], parts[1:]
+        if base == "self" and info.cls is not None and len(rest) == 1:
+            return self._resolve_method(module, info.cls, rest[0],
+                                        allow_fallback=True)
+        # x.method() where x was locally built from an analyzed class,
+        # or an annotated parameter of an analyzed class type.
+        if base in local_types and len(rest) == 1:
+            cls_qual = local_types[base]
+            cls_module, _, cls_name = cls_qual.rpartition(".")
+            owner = self.modules.get(cls_module)
+            if owner is not None:
+                hit = owner.classes.get(cls_name, {}).get(rest[0])
+                if hit:
+                    return [hit]
+            return []
+        # ClassName.method() via a module-level or imported class name.
+        qualified = module.qualify(parts)
+        dotted = ".".join(qualified)
+        if dotted in self.functions:
+            return [dotted]
+        if len(qualified) >= 2:
+            cls_dotted = ".".join(qualified[:-1])
+            cls_module, _, cls_name = cls_dotted.rpartition(".")
+            owner = self.modules.get(cls_module)
+            if owner is not None and cls_name in owner.classes:
+                hit = owner.classes[cls_name].get(qualified[-1])
+                return [hit] if hit else []
+        # obj.method() with an unknown receiver: unique-name fallback.
+        if len(rest) == 1:
+            return self._resolve_method(None, None, rest[0],
+                                        allow_fallback=True)
+        return []
+
+    def _resolve_bare(self, name: str, info: FunctionInfo,
+                      module: ModuleInfo,
+                      local_defs: Dict[str, str]) -> List[str]:
+        if name in local_defs:
+            return [local_defs[name]]
+        candidate = f"{module.name}.{name}"
+        if candidate in self.functions:
+            return [candidate]
+        if name in module.classes:
+            init = module.classes[name].get("__init__")
+            return [init] if init else []
+        if name in module.imports:
+            target = module.imports[name]
+            if target in self.functions:
+                return [target]
+            tgt_module, _, tgt_name = target.rpartition(".")
+            owner = self.modules.get(tgt_module)
+            if owner is not None and tgt_name in owner.classes:
+                init = owner.classes[tgt_name].get("__init__")
+                return [init] if init else []
+        return []
+
+    def _resolve_method(self, module: Optional[ModuleInfo],
+                        cls: Optional[str], method: str,
+                        allow_fallback: bool) -> List[str]:
+        if module is not None and cls is not None:
+            hit = module.classes.get(cls, {}).get(method)
+            if hit:
+                return [hit]
+        if allow_fallback:
+            candidates = self.methods_by_name.get(method, [])
+            if len(candidates) == 1:
+                return [candidates[0]]
+        return []
+
+    # -- traversal ------------------------------------------------------
+
+    def callees(self, qualname: str) -> List[str]:
+        """Resolved analyzed callees of one function (sorted, unique)."""
+        info = self.functions.get(qualname)
+        if info is None:
+            return []
+        out = set()
+        for call in info.calls:
+            out.update(call.resolved)
+        return sorted(out)
+
+    def reachable(self, start: str) -> Dict[str, List[str]]:
+        """Every function reachable from ``start`` via resolved calls.
+
+        Returns ``{qualname: path}`` where ``path`` is the call chain
+        from ``start`` to that function (inclusive), following the
+        first-discovered (BFS, sorted-neighbor) route -- deterministic
+        for a given tree.
+        """
+        paths: Dict[str, List[str]] = {start: [start]}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            for callee in self.callees(current):
+                if callee not in paths:
+                    paths[callee] = paths[current] + [callee]
+                    queue.append(callee)
+        return paths
+
+
+def _literal_strings(node: ast.AST) -> Optional[List[str]]:
+    """The string elements of a literal list/tuple, or ``None``."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            out.append(elt.value)
+        else:
+            return None
+    return out
+
+
+def _local_instance_types(func_node: ast.AST, module: ModuleInfo,
+                          graph: CallGraph) -> Dict[str, str]:
+    """Map local variable names to analyzed-class qualnames.
+
+    Recognizes ``x = ClassName(...)`` assignments anywhere in the
+    function and parameters annotated with an analyzed class name
+    (``pool: WorkerPool``) -- enough for the flow rules without real
+    type inference.
+    """
+    types: Dict[str, str] = {}
+
+    def class_qual(name_parts: Sequence[str]) -> Optional[str]:
+        qualified = module.qualify(name_parts)
+        cls_name = qualified[-1]
+        cls_module = ".".join(qualified[:-1]) or module.name
+        owner = graph.modules.get(cls_module)
+        if owner is not None and cls_name in owner.classes:
+            return f"{cls_module}.{cls_name}"
+        if len(name_parts) == 1 and name_parts[0] in module.classes:
+            return f"{module.name}.{name_parts[0]}"
+        return None
+
+    args = getattr(func_node, "args", None)
+    if args is not None:
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            if arg.annotation is not None:
+                parts = dotted_parts(arg.annotation)
+                if parts:
+                    hit = class_qual(parts)
+                    if hit:
+                        types[arg.arg] = hit
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            parts = dotted_parts(node.value.func)
+            if not parts:
+                continue
+            hit = class_qual(parts)
+            if not hit:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    types[target.id] = hit
+    return types

@@ -36,7 +36,6 @@ import os
 import pickle
 import shutil
 import tempfile
-import time
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
 from repro import obs
@@ -93,12 +92,10 @@ def _dispatch(task: Tuple[int, Any, Callable, Any, bool]) -> Any:
         return func(_SHARED_STATE["value"], args)
     telemetry = obs.Telemetry(trace=False, metrics=True)
     with obs.activate(telemetry):
-        started = time.perf_counter()
-        result = func(_SHARED_STATE["value"], args)
+        with obs.span("pool.task") as span:
+            result = func(_SHARED_STATE["value"], args)
         telemetry.metrics.inc("pool.tasks")
-        telemetry.metrics.observe(
-            "pool.task_seconds", time.perf_counter() - started
-        )
+        telemetry.metrics.observe("pool.task_seconds", span.seconds)
     return result, telemetry.metrics.snapshot()
 
 

@@ -18,7 +18,7 @@ from typing import Any, Dict, IO, Mapping, Union
 from repro.api.spec import ExperimentSpec, SpecError
 from repro.profiler.serialization import canonical_fingerprint
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "RESULT_FORMAT_VERSION"]
 
 #: Run-result format version written by :meth:`RunResult.to_dict`.
 RESULT_FORMAT_VERSION = 1

@@ -31,7 +31,8 @@ from typing import Any, Dict, IO, List, Mapping, Optional, Union
 
 from repro.profiler.serialization import canonical_fingerprint
 
-__all__ = ["ExperimentSpec", "SpecError", "EXPERIMENT_KINDS"]
+__all__ = ["ExperimentSpec", "SpecError", "EXPERIMENT_KINDS",
+           "SPEC_FORMAT_VERSION"]
 
 
 class SpecError(ValueError):

@@ -1,5 +1,5 @@
 """Command-line interface: profile, predict, simulate, sweep, search,
-validate, dvfs, run.
+validate, dvfs, run, stats, lint.
 
 Every experiment subcommand is a thin adapter over the programmatic API
 (:mod:`repro.api`): it parses flags into a declarative
@@ -31,6 +31,7 @@ Examples::
     python -m repro.cli dvfs gcc.profile --power-cap 12
     python -m repro.cli run sweep.json validate.json \\
         --workers 4 --runs .run-store
+    python -m repro.cli lint src/repro --baseline tools/lint_baseline.toml
 """
 
 from __future__ import annotations
@@ -496,6 +497,28 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so the analysis package stays off the hot path of
+    # every experiment subcommand.
+    from repro.analysis import BaselineError, LintError, run_lint
+
+    try:
+        report = run_lint(
+            args.paths or ["src/repro"],
+            baseline=args.baseline,
+            rules=args.rules or None,
+        )
+    except (LintError, BaselineError, OSError) as exc:
+        return _error(str(exc))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report -> {args.json}")
+    print("\n".join(report.render_lines()))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -693,6 +716,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--json", default=None, metavar="OUT.json",
                      help="write the span/metrics summary as JSON")
     sub.set_defaults(func=cmd_stats)
+
+    sub = subparsers.add_parser(
+        "lint",
+        help="determinism & contract static analysis "
+             "(see repro.analysis)")
+    sub.add_argument("paths", nargs="*", metavar="PATH",
+                     help="files/directories to analyze (default: "
+                          "src/repro)")
+    sub.add_argument("--baseline", default=None, metavar="FILE.toml",
+                     help="baseline file of reviewed, accepted finding "
+                          "keys (default: none)")
+    sub.add_argument("--rules", action="append", default=None,
+                     metavar="RULE",
+                     help="run only this rule (repeatable; default: "
+                          "all registered rules)")
+    sub.add_argument("--json", default=None, metavar="OUT.json",
+                     help="also write the machine-readable report")
+    sub.set_defaults(func=cmd_lint)
 
     # The global telemetry flags work before or after the subcommand
     # (SUPPRESS keeps a subcommand-less occurrence authoritative).

@@ -76,6 +76,7 @@ __all__ = [
     "derive_activity_batch",
     "evaluate_power_batch",
     "predict_model_batch",
+    "compose_groups",
 ]
 
 

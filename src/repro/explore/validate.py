@@ -67,6 +67,7 @@ __all__ = [
     "WorkloadValidation",
     "ValidationReport",
     "ValidationCampaign",
+    "STACK_COMPONENT_MAP",
 ]
 
 #: Model CPI-stack component -> simulator ``STACK_KEYS`` component.  The

@@ -37,6 +37,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "Number",
 ]
 
 Number = Union[int, float]

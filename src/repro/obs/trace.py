@@ -44,7 +44,7 @@ from typing import (
 )
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
-           "read_trace", "span_stats"]
+           "read_trace", "span_stats", "TRACE_CATEGORY", "METRICS_EVENT"]
 
 #: Category stamped on every exported span event.
 TRACE_CATEGORY = "repro"

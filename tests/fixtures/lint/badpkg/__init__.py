@@ -1,0 +1,6 @@
+"""Deliberately broken fixture package: each module violates one rule.
+
+Never imported -- only parsed by the static-analysis tests, which
+assert that every rule fires on its module here and stays quiet on
+``cleanpkg``.
+"""

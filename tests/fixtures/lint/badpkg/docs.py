@@ -1,0 +1,7 @@
+def shout(text):
+    return text.upper()
+
+
+class Megaphone:
+    def amplify(self, text):
+        return shout(text)

@@ -1,0 +1,13 @@
+"""Exports fixture: ``__all__`` drifts from the module's bindings."""
+
+__all__ = ["present", "missing_name"]
+
+
+def present():
+    """Exported and defined: fine."""
+    return 1
+
+
+def unexported():
+    """Public but absent from ``__all__``: flagged."""
+    return 2

@@ -1,0 +1,18 @@
+"""Seeded-RNG fixture: seedless and entropy-backed constructions."""
+
+import random
+
+
+def fresh_rng():
+    """Unseeded ``random.Random`` -- different streams every run."""
+    return random.Random()
+
+
+def entropy_rng():
+    """``SystemRandom`` can never reproduce."""
+    return random.SystemRandom()
+
+
+def good_rng(seed):
+    """Seeded construction: the compliant form, must not be flagged."""
+    return random.Random(seed)

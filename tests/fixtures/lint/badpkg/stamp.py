@@ -1,0 +1,8 @@
+"""Taint fixture, source side: a helper that reads the wall clock."""
+
+import time
+
+
+def wall_stamp():
+    """A nondeterministic value (the taint source)."""
+    return time.time()

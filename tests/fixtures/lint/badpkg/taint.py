@@ -1,0 +1,18 @@
+"""Taint fixture, sink side: wall clock reaches a fingerprint.
+
+``canonical_fingerprint`` matches the default sink patterns; the clock
+read lives two call-graph edges away, in another module, so a finding
+here proves cross-module source -> sink propagation.
+"""
+
+from badpkg.stamp import wall_stamp
+
+
+def _payload():
+    """Intermediate hop between the sink and the source."""
+    return {"stamp": wall_stamp()}
+
+
+def canonical_fingerprint():
+    """The sink: a fingerprint that silently absorbs the clock."""
+    return sorted(_payload().items())

@@ -1,0 +1,11 @@
+"""Raw-timing fixture: clock reads outside the telemetry layer."""
+
+import time
+from time import perf_counter
+
+
+def elapsed(work):
+    """Times work with raw clocks instead of ``obs.span``."""
+    started = perf_counter()
+    work()
+    return time.monotonic() - started

@@ -1,0 +1,19 @@
+"""Worker-shipping fixture: dispatched callables touch shared state."""
+
+_RESULTS = []
+
+
+def _accumulate(task):
+    """Mutates module-level state -- a race once shipped to workers."""
+    _RESULTS.append(task)
+    return task
+
+
+def run(pool, tasks):
+    """Ships the mutating function through a pool."""
+    return list(pool.imap(_accumulate, tasks))
+
+
+def run_lambda(pool, tasks):
+    """Ships a lambda, which cannot pickle and hides its closure."""
+    return list(pool.imap(lambda task: task + 1, tasks))

@@ -1,0 +1,1 @@
+"""Compliant fixture package: every rule must stay quiet here."""

@@ -1,0 +1,38 @@
+"""A module that honors every contract the rules enforce.
+
+Seeded RNG, sorted directory listings feeding the fingerprint, a pure
+module-level function shipped to the pool, a complete ``__all__``, and
+no clock reads: the negative control for the whole rule catalog.
+"""
+
+import os
+import random
+
+__all__ = ["canonical_fingerprint", "draw", "run"]
+
+_SCALE = 3
+
+
+def _listing(path):
+    """Deterministic directory contents (sorted at the source)."""
+    return sorted(os.listdir(path))
+
+
+def canonical_fingerprint(path):
+    """A fingerprint fed only by deterministic inputs."""
+    return tuple(_listing(path))
+
+
+def draw(seed):
+    """A reproducible draw from an explicitly seeded generator."""
+    return random.Random(seed).random()
+
+
+def _scale(task):
+    """Pure worker: reads a module constant, mutates nothing."""
+    return task * _SCALE
+
+
+def run(pool, tasks):
+    """Ships the pure function -- a compliant dispatch site."""
+    return list(pool.imap(_scale, tasks))

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI entry point for the determinism & contract static analysis.
+
+A thin wrapper over :func:`repro.analysis.run_lint` that pins the CI
+policy: lint ``src/repro`` against ``tools/lint_baseline.toml``, write
+the machine-readable report artifact, and (with
+``--require-empty-baseline``) fail if the baseline file contains any
+entry at all -- the gate that keeps accepted exceptions at zero.
+
+Run locally from the repository root::
+
+    python tools/lint.py
+    python tools/lint.py --json lint-report.json
+    python tools/lint.py src/repro/api --no-baseline
+
+Exit codes: 0 clean, 1 findings (or a non-empty baseline under
+``--require-empty-baseline``), 2 usage/configuration errors.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import Baseline, BaselineError, LintError, run_lint
+
+
+DEFAULT_BASELINE = ROOT / "tools" / "lint_baseline.toml"
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the lint pass, and report."""
+    parser = argparse.ArgumentParser(
+        description="determinism & contract static analysis (CI policy)")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        default=None,
+                        help="files/directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        metavar="FILE.toml",
+                        help="baseline file (default: "
+                             "tools/lint_baseline.toml)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--require-empty-baseline", action="store_true",
+                        help="fail if the baseline contains any entry "
+                             "(the CI gate)")
+    parser.add_argument("--json", default=None, metavar="OUT.json",
+                        help="write the machine-readable report "
+                             "artifact")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = (Baseline() if args.no_baseline
+                    else Baseline.load(args.baseline))
+        report = run_lint(
+            args.paths or ["src/repro"],
+            root=ROOT,
+            baseline=baseline,
+        )
+    except (LintError, BaselineError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report -> {args.json}")
+    print("\n".join(report.render_lines()))
+
+    status = 0 if report.ok else 1
+    if args.require_empty_baseline and len(baseline):
+        print(f"error: --require-empty-baseline, but "
+              f"{args.baseline} carries {len(baseline)} entr"
+              f"{'y' if len(baseline) == 1 else 'ies'}",
+              file=sys.stderr)
+        status = max(status, 1)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

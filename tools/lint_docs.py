@@ -1,78 +1,65 @@
 #!/usr/bin/env python3
 """Docs lint: every public API in the checked packages must be documented.
 
-Walks the AST of the checked source files and fails (exit 1) when a
-module, public class, or public function/method is missing a docstring.
-Used by CI next to the test suite; run locally with::
+Historically a standalone AST walker; now a compatibility shim over the
+``docstrings`` rule of the static-analysis package
+(:mod:`repro.analysis`), which owns the logic and the authoritative
+target list (:data:`repro.analysis.DOCSTRING_TARGETS`).  This entry
+point, its default targets, and the CI step name all report that same
+list, so they can never drift apart again.  Run locally with::
 
     python tools/lint_docs.py
 
-Checked by default: ``src/repro/explore/``, ``src/repro/api/`` and
-``src/repro/core/model.py`` (the packages the documentation pass
-guarantees); pass paths to check others.
+or, equivalently, through the full front door::
+
+    python tools/lint.py         # all rules, baseline applied
+    PYTHONPATH=src python -m repro.cli lint --rules docstrings
+
+Pass paths to check packages outside the guaranteed set.
 """
 
-import ast
 import sys
 from pathlib import Path
 
-DEFAULT_TARGETS = [
-    "src/repro/explore",
-    "src/repro/api",
-    "src/repro/obs",
-    "src/repro/core/model.py",
-]
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
+from repro.analysis import DOCSTRING_TARGETS, LintError, run_lint
 
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _check_node(node, qualname, problems):
-    for child in node.body if hasattr(node, "body") else []:
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                              ast.ClassDef)):
-            if not _is_public(child.name):
-                continue
-            child_name = f"{qualname}.{child.name}"
-            if ast.get_docstring(child) is None:
-                # Properties wrapping one-line returns still need docs;
-                # no exemptions keeps the rule easy to reason about.
-                problems.append(f"missing docstring: {child_name}")
-            if isinstance(child, ast.ClassDef):
-                _check_node(child, child_name, problems)
+#: Kept for backwards compatibility; the rule's list is authoritative.
+DEFAULT_TARGETS = list(DOCSTRING_TARGETS)
 
 
 def check_file(path: Path) -> list:
     """Lint one source file; returns a list of problem strings."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    problems = []
-    if ast.get_docstring(tree) is None:
-        problems.append(f"missing module docstring: {path}")
-    _check_node(tree, str(path), problems)
-    return problems
+    report = run_lint(
+        [path], root=ROOT, rules=["docstrings"],
+        options={"docstring_targets": ["*"]},
+    )
+    return [finding.message for finding in report.findings]
 
 
 def main(argv) -> int:
+    """Run the docstrings rule over the targets; 0 clean, 1 problems."""
     targets = argv[1:] or DEFAULT_TARGETS
-    root = Path(__file__).resolve().parent.parent
-    files = []
-    for target in targets:
-        path = root / target
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
-
-    problems = []
-    for path in files:
-        problems.extend(check_file(path))
-    for problem in problems:
-        print(problem)
-    if problems:
-        print(f"\n{len(problems)} documentation problem(s)")
+    options = {} if argv[1:] else None
+    if argv[1:]:
+        # Explicit paths are linted unconditionally, like the old
+        # standalone checker did.
+        options = {"docstring_targets": ["*"]}
+    try:
+        report = run_lint(targets, root=ROOT, rules=["docstrings"],
+                          options=options)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in report.findings:
+        print(finding.message)
+    if report.findings:
+        print(f"\n{len(report.findings)} documentation problem(s)")
         return 1
-    print(f"docs lint OK ({len(files)} files)")
+    print(f"docs lint OK ({len(report.files)} files; targets: "
+          + ", ".join(DEFAULT_TARGETS) + ")")
     return 0
 
 
