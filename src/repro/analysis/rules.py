@@ -36,6 +36,12 @@ reproduction's core contracts:
     The documentation guarantee migrated from ``tools/lint_docs.py``:
     modules, public classes and public functions in the guaranteed
     packages (:data:`DOCSTRING_TARGETS`) carry docstrings.
+``supervision-exceptions``
+    The fault-tolerance layer (:data:`SUPERVISION_MODULES`) may not use
+    bare ``except`` or blanket ``except Exception`` / ``BaseException``
+    handlers: a supervisor that swallows everything turns real bugs
+    into silent retries, so every handler there must name the concrete
+    failure classes it absorbs.
 
 The in-memory :class:`~repro.core.interval.ModelCache` keys ``id()`` on
 purpose (pinned profiles make identity a safe per-process key), so the
@@ -63,6 +69,7 @@ __all__ = [
     "RULES",
     "register_rule",
     "DOCSTRING_TARGETS",
+    "SUPERVISION_MODULES",
     "TAINT_SINKS",
     "TIME_CLOCKS",
 ]
@@ -623,6 +630,7 @@ DOCSTRING_TARGETS: Tuple[str, ...] = (
     "src/repro/api",
     "src/repro/obs",
     "src/repro/analysis",
+    "src/repro/faults",
     "src/repro/core/model.py",
 )
 
@@ -679,4 +687,76 @@ def _check_docstrings(ctx) -> List[Finding]:
             ))
         _walk_docstrings(module.tree, module.name, module.path,
                          findings)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: supervision-exceptions
+# ----------------------------------------------------------------------
+
+#: Module patterns (``fnmatch`` over dotted names) forming the
+#: supervision layer: the code that catches other code's failures on
+#: purpose, and must therefore say exactly which failures it catches.
+SUPERVISION_MODULES: Tuple[str, ...] = (
+    "repro.faults",
+    "repro.faults.*",
+    "repro.api.pool",
+)
+
+
+def _blanket_handler_label(type_node: Optional[ast.AST]) -> Optional[str]:
+    """The offending label of a blanket handler, or ``None`` if named.
+
+    Flags ``except:`` (no type), ``except Exception`` /
+    ``BaseException``, and tuples containing either.  Handlers naming
+    concrete classes -- including project exception types referenced by
+    attribute -- pass.
+    """
+    if type_node is None:
+        return "bare except"
+    nodes = (type_node.elts if isinstance(type_node, ast.Tuple)
+             else [type_node])
+    for node in nodes:
+        if (isinstance(node, ast.Name)
+                and node.id in ("Exception", "BaseException")):
+            return f"except {node.id}"
+    return None
+
+
+@register_rule(
+    "supervision-exceptions",
+    "no bare except / blanket Exception handlers in the supervision "
+    "layer",
+)
+def _check_supervision_exceptions(ctx) -> List[Finding]:
+    """Flag blanket exception handlers inside the supervision modules.
+
+    The retry/restart machinery decides, per failure class, whether to
+    retry, restart the pool, or give up -- a handler that catches
+    ``Exception`` (or everything) erases that decision and turns
+    deterministic bugs into silent retries.  Scope comes from the
+    ``supervision_modules`` option (default
+    :data:`SUPERVISION_MODULES`).
+    """
+    patterns = tuple(ctx.options.get("supervision_modules",
+                                     SUPERVISION_MODULES))
+    findings: List[Finding] = []
+    for module in ctx.modules:
+        if not any(fnmatchcase(module.name, pat) for pat in patterns):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = _blanket_handler_label(node.type)
+            if label is None:
+                continue
+            findings.append(Finding(
+                rule="supervision-exceptions", path=module.path,
+                line=node.lineno, symbol=label,
+                message=(f"{label} in supervision module "
+                         f"'{module.name}': name the concrete failure "
+                         f"classes this handler absorbs (blanket "
+                         f"handlers turn real bugs into silent "
+                         f"retries)"),
+            ))
     return findings

@@ -1,4 +1,4 @@
-"""A persistent, shareable worker pool for multi-stage experiment runs.
+"""A persistent, supervised worker pool for multi-stage experiment runs.
 
 The sweep engines historically created one ``multiprocessing.Pool`` per
 call: fine for a single sweep, wasteful for a pipeline that profiles,
@@ -19,6 +19,20 @@ materializes a given stage's state at most once.  Results are bitwise
 identical to the per-call-pool path; only where the processes come
 from (and how state reaches them) changes.
 
+On top of the broadcast protocol sits **task supervision** (the
+default): each task is submitted individually and awaited with a
+per-task timeout, failed attempts are retried under a
+:class:`~repro.faults.policy.RetryPolicy` (bounded attempts,
+exponential backoff, deterministic jitter), and a wedged or crashed
+worker triggers an automatic pool restart with every in-flight task
+resubmitted.  Tasks are pure functions of ``(state, task)``, so a
+retry re-computes the same value and the result stream stays bitwise
+identical to a fault-free run -- supervision changes *when* work
+happens, never *what* comes back.  When a stage exhausts its restart
+budget the pool marks itself unavailable and raises
+:class:`WorkerPoolError` mid-stream; the engines catch it and finish
+the remaining batches serially (see ``docs/robustness.md``).
+
 When telemetry is active in the parent, worker-side metrics piggyback
 on the existing result messages: each task runs under a worker-local
 registry and :func:`_dispatch` returns ``(result, delta)``, where
@@ -36,21 +50,37 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.faults import inject
+from repro.faults.policy import RetryPolicy
 
 __all__ = ["WorkerPool", "WorkerPoolError"]
 
 
 class WorkerPoolError(RuntimeError):
-    """The pool cannot run tasks (no usable ``multiprocessing``).
+    """The pool cannot run tasks (unavailable or out of restarts).
 
     Raised by :meth:`WorkerPool.imap` when worker processes cannot be
     created on this platform (missing semaphores, sandboxed
-    environments, ...).  Callers are expected to fall back to their
-    serial path, exactly as the engines do for per-call pools.
+    environments, ...), and from *inside* a supervised result stream
+    when a stage exhausts its pool-restart budget.  Callers are
+    expected to fall back to their serial path, exactly as the engines
+    do -- completed results keep streaming, only the remainder moves
+    in-process.
     """
+
+
+#: Task failures the supervisor retries in place (without restarting
+#: the pool): injected transient errors and the OS-level errors a
+#: loaded machine produces (pipe resets, interrupted IO).
+_TRANSIENT_TASK_ERRORS = (
+    inject.InjectedTaskError,
+    EOFError,
+    OSError,
+)
 
 
 # ----------------------------------------------------------------------
@@ -63,14 +93,22 @@ class WorkerPoolError(RuntimeError):
 _SHARED_STATE = {"token": None, "value": None}
 
 
-def _dispatch(task: Tuple[int, Any, Callable, Any, bool]) -> Any:
+def _dispatch(task: Tuple[int, Any, Callable, Any, bool,
+                          Optional[str]]) -> Any:
     """Run one wrapped task inside a worker.
 
-    ``task`` is ``(token, payload, func, args, collect)``: ``payload``
-    is the pickled shared state of the stage identified by ``token`` --
-    either the raw bytes (small states) or the path of a spill file
-    (large states, read once per worker) -- and ``func(state, args)``
-    performs the actual work.
+    ``task`` is ``(token, payload, func, args, collect, fault_key)``:
+    ``payload`` is the pickled shared state of the stage identified by
+    ``token`` -- either the raw bytes (small states) or the path of a
+    spill file (large states, read once per worker) -- and
+    ``func(state, args)`` performs the actual work.
+
+    ``fault_key`` is non-``None`` only on the supervised path: it
+    names this (stage, task, attempt) for the fault-injection harness,
+    which may raise or sleep here before the task body runs (see
+    :func:`repro.faults.inject.task_site`).  The environment-driven
+    fault plan is refreshed first, so workers honor ``REPRO_FAULTS``
+    under both fork and spawn start methods.
 
     With ``collect`` false the bare result is returned.  With
     ``collect`` true the task runs under a worker-local metrics
@@ -80,7 +118,9 @@ def _dispatch(task: Tuple[int, Any, Callable, Any, bool]) -> Any:
     contribution, merged into the parent registry by :meth:`
     WorkerPool.imap` as results stream back.
     """
-    token, payload, func, args, collect = task
+    token, payload, func, args, collect, fault_key = task
+    if fault_key is not None:
+        inject.refresh()
     if _SHARED_STATE["token"] != token:
         blob = payload
         if isinstance(payload, str):
@@ -89,9 +129,13 @@ def _dispatch(task: Tuple[int, Any, Callable, Any, bool]) -> Any:
         _SHARED_STATE["value"] = pickle.loads(blob)
         _SHARED_STATE["token"] = token
     if not collect:
+        if fault_key is not None:
+            inject.task_site(fault_key)
         return func(_SHARED_STATE["value"], args)
     telemetry = obs.Telemetry(trace=False, metrics=True)
     with obs.activate(telemetry):
+        if fault_key is not None:
+            inject.task_site(fault_key)
         with obs.span("pool.task") as span:
             result = func(_SHARED_STATE["value"], args)
         telemetry.metrics.inc("pool.tasks")
@@ -108,6 +152,20 @@ class WorkerPool:
         Number of worker processes.  ``None`` uses ``os.cpu_count()``;
         values ``<= 1`` mean the pool is never created (callers should
         consult :attr:`parallel` and stay serial).
+    retry:
+        The :class:`~repro.faults.policy.RetryPolicy` governing the
+        supervised path (attempts, per-task timeout, backoff).  A
+        default policy is built when omitted.
+    max_restarts:
+        Pool restarts tolerated *per stage* before the stage gives up
+        with :class:`WorkerPoolError` and the pool marks itself
+        unavailable (see :meth:`revive`).
+    supervised:
+        ``False`` selects the raw, unsupervised dispatch path (plain
+        ``Pool.imap``, no timeouts, no retries, no fault injection).
+        The raw path is the benchmark baseline the supervision
+        overhead gate measures against, and the differential reference
+        for bitwise-identity tests.
 
     Attributes
     ----------
@@ -116,7 +174,12 @@ class WorkerPool:
         instrumentation for the "one pool per session" guarantee; a
         multi-stage pipeline sharing one :class:`WorkerPool` reads 1
         here no matter how many sweeps it ran (0 when every stage ran
-        serially or process creation is unavailable).
+        serially or process creation is unavailable).  Supervision
+        restarts after crashes/timeouts also increment it.
+    retries / timeouts / restarts / worker_crashes / give_ups:
+        Lifetime supervision accounting as plain ints (always on);
+        :meth:`flush_metrics` publishes the deltas under ``pool.*``
+        metric names.
 
     Examples
     --------
@@ -131,9 +194,25 @@ class WorkerPool:
     #: worker) instead of being attached to every task.
     inline_state_limit = 65536
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_restarts: int = 5,
+        supervised: bool = True,
+    ) -> None:
         self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_restarts = max_restarts
+        self.supervised = supervised
         self.pools_created = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.restarts = 0
+        self.worker_crashes = 0
+        self.give_ups = 0
+        self._flushed = {"retries": 0, "timeouts": 0, "restarts": 0,
+                         "worker_crashes": 0, "give_ups": 0}
         self._pool = None
         self._tokens = itertools.count(1)
         self._unavailable = False
@@ -177,7 +256,9 @@ class WorkerPool:
         Stages run in token order and overlap at most pairwise (e.g. a
         streaming consumer of one sweep starting the next), so spill
         files older than the previous stage are dead and deleted here;
-        :meth:`close` removes the whole spill directory.
+        each stage's stream additionally removes its own spill when it
+        ends or is abandoned, and :meth:`close` removes the whole
+        spill directory.
         """
         if self._spill_dir is None:
             self._spill_dir = tempfile.mkdtemp(prefix="repro-pool-")
@@ -192,6 +273,15 @@ class WorkerPool:
         self._spills[token] = path
         return path
 
+    def _drop_spill(self, token: int) -> None:
+        """Remove one stage's spill file (no-op when it never spilled)."""
+        path = self._spills.pop(token, None)
+        if path is not None:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
     def imap(
         self,
         func: Callable[[Any, Any], Any],
@@ -204,8 +294,18 @@ class WorkerPool:
         worker (cached under this call's token).  Pickles larger than
         :attr:`inline_state_limit` are spilled to a temp file and
         shipped by path -- one disk read per worker instead of the
-        whole state riding the pipe with every task.  ``func`` must be
-        a module-level (picklable) callable.
+        whole state riding the pipe with every task; the spill file is
+        removed when the returned stream ends, raises, or is abandoned
+        (generator finalization).  ``func`` must be a module-level
+        (picklable) callable.
+
+        On the supervised path (the default) each task attempt is
+        bounded by the pool's :class:`~repro.faults.policy.RetryPolicy`:
+        timeouts and injected worker crashes restart the pool and
+        resubmit the in-flight window, transient task errors back off
+        and retry in place, and attempts are bounded -- all counted in
+        the supervision counters.  Results still arrive in task order
+        and are bitwise identical to a fault-free run.
 
         When the active telemetry records metrics, each worker result
         arrives with that task's metric delta piggybacked (see
@@ -216,8 +316,9 @@ class WorkerPool:
         Raises
         ------
         WorkerPoolError
-            When the pool cannot be created; callers fall back to
-            their serial path.
+            When the pool cannot be created (raised here, eagerly), or
+            out of the stream when a stage exhausts its restart budget;
+            callers fall back to their serial path either way.
         """
         pool = self._ensure()
         token = next(self._tokens)
@@ -233,18 +334,208 @@ class WorkerPool:
         if len(payload) > self.inline_state_limit:
             payload = self._spill(token, payload)
             registry.inc("pool.spills")
-        wrapped = [(token, payload, func, task, collect) for task in tasks]
-        results = pool.imap(_dispatch, wrapped)
-        if not collect:
-            return results
-        return self._merge_stream(results, registry)
+        tasks = list(tasks)
+        if not self.supervised:
+            wrapped = [(token, payload, func, task, collect, None)
+                       for task in tasks]
+            return self._stream_plain(
+                pool.imap(_dispatch, wrapped), token, collect, registry
+            )
+        return self._stream_supervised(
+            func, payload, token, tasks, collect, registry
+        )
 
-    @staticmethod
-    def _merge_stream(results: Iterator[Any], registry) -> Iterator[Any]:
-        """Unwrap ``(result, delta)`` pairs, merging deltas in order."""
-        for result, delta in results:
-            registry.merge(delta)
-            yield result
+    def _stream_plain(self, results: Iterator[Any], token: int,
+                      collect: bool, registry) -> Iterator[Any]:
+        """Unsupervised result stream: unwrap deltas, reclaim the spill.
+
+        The ``finally`` runs on normal exhaustion, on a raising task,
+        and on generator finalization when the consumer abandons the
+        stream -- the spill file never outlives its stage.
+        """
+        try:
+            for item in results:
+                if collect:
+                    result, delta = item
+                    registry.merge(delta)
+                    yield result
+                else:
+                    yield item
+        finally:
+            self._drop_spill(token)
+
+    def _stream_supervised(self, func: Callable, payload: Any,
+                           token: int, tasks: list, collect: bool,
+                           registry) -> Iterator[Any]:
+        """Supervised result stream: timeouts, retries, pool restarts.
+
+        Tasks are submitted individually (``apply_async``) over a
+        bounded in-flight window and consumed strictly in task order.
+        Per task attempt:
+
+        * ``multiprocessing.TimeoutError`` after ``retry.timeout``
+          seconds -- the worker is presumed wedged (or genuinely dead:
+          a task lost to a killed worker never completes), so the pool
+          is restarted and every in-flight task resubmitted.
+        * :class:`~repro.faults.inject.InjectedWorkerCrash` -- treated
+          exactly like a real worker death: restart + resubmit, after
+          the policy's backoff delay.
+        * transient errors (:data:`_TRANSIENT_TASK_ERRORS`) -- retried
+          in place after backoff, without restarting the pool.
+
+        Attempts are bounded by ``retry.max_attempts`` and restarts by
+        ``max_restarts`` per stage; exhausting either gives the stage
+        up with :class:`WorkerPoolError` (transient errors re-raise
+        their original exception instead -- a task that fails the same
+        way repeatedly is broken, not unlucky, and would fail serially
+        too).
+        """
+        from multiprocessing import TimeoutError as MPTimeoutError
+
+        policy = self.retry
+        n = len(tasks)
+        try:
+            pending: dict = {}
+            attempts = [0] * n
+
+            def submit(index: int) -> None:
+                key = f"{token}:{index}:{attempts[index]}"
+                wrapped = (token, payload, func, tasks[index], collect,
+                           key)
+                pending[index] = self._pool.apply_async(
+                    _dispatch, (wrapped,)
+                )
+
+            def resubmit_pending() -> None:
+                for index in sorted(pending):
+                    submit(index)
+
+            window = max(2 * self.effective_workers(), 2)
+            next_submit = min(window, n)
+            for index in range(next_submit):
+                submit(index)
+
+            stage_restarts = 0
+            for index in range(n):
+                while True:
+                    handle = pending[index]
+                    try:
+                        value = handle.get(policy.timeout)
+                    except MPTimeoutError:
+                        self.timeouts += 1
+                        attempts[index] += 1
+                        if attempts[index] >= policy.max_attempts:
+                            self._fail_stage(
+                                f"task {index} timed out "
+                                f"{attempts[index]} time(s)"
+                            )
+                        self.retries += 1
+                        stage_restarts = self._recycle(stage_restarts)
+                        resubmit_pending()
+                        continue
+                    except inject.InjectedWorkerCrash:
+                        self.worker_crashes += 1
+                        attempts[index] += 1
+                        if attempts[index] >= policy.max_attempts:
+                            self._fail_stage(
+                                f"task {index} crashed its worker "
+                                f"{attempts[index]} time(s)"
+                            )
+                        self.retries += 1
+                        stage_restarts = self._recycle(stage_restarts)
+                        time.sleep(policy.delay(
+                            f"{token}:{index}", attempts[index] - 1
+                        ))
+                        resubmit_pending()
+                        continue
+                    except _TRANSIENT_TASK_ERRORS:
+                        attempts[index] += 1
+                        if attempts[index] >= policy.max_attempts:
+                            raise
+                        self.retries += 1
+                        time.sleep(policy.delay(
+                            f"{token}:{index}", attempts[index] - 1
+                        ))
+                        submit(index)
+                        continue
+                    break
+                del pending[index]
+                if next_submit < n:
+                    submit(next_submit)
+                    next_submit += 1
+                if collect:
+                    result, delta = value
+                    registry.merge(delta)
+                    yield result
+                else:
+                    yield value
+        finally:
+            self._drop_spill(token)
+
+    def _recycle(self, stage_restarts: int) -> int:
+        """Restart the pool after a crash/timeout; bound per stage.
+
+        Terminates the (possibly wedged) worker processes and creates
+        a fresh pool.  When the stage has already used its
+        ``max_restarts`` budget, gives the stage up instead (see
+        :meth:`_fail_stage`).
+        """
+        stage_restarts += 1
+        if stage_restarts > self.max_restarts:
+            self._fail_stage(
+                f"stage exceeded {self.max_restarts} pool restart(s)"
+            )
+        self.restarts += 1
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._ensure()
+        return stage_restarts
+
+    def _fail_stage(self, reason: str) -> None:
+        """Give up: mark the pool unavailable and raise mid-stream.
+
+        Later stages then fail eagerly in :meth:`_ensure` and the
+        engines run serially for the rest of the campaign (until
+        :meth:`revive`).  Completed results already yielded by the
+        stream are unaffected -- nothing is lost, the remainder just
+        moves in-process.
+        """
+        self.give_ups += 1
+        self._unavailable = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        raise WorkerPoolError(reason)
+
+    def revive(self) -> None:
+        """Clear the unavailable flag set by an exhausted stage.
+
+        The next :meth:`imap` then tries to create a fresh pool again
+        -- the opt-back-in after a campaign degraded to serial.
+        """
+        self._unavailable = False
+
+    def flush_metrics(self, metrics) -> None:
+        """Publish supervision counters accumulated since the last flush.
+
+        Increments ``pool.retries`` / ``pool.timeouts`` /
+        ``pool.restarts`` / ``pool.worker_crashes`` / ``pool.give_ups``
+        on ``metrics`` by the deltas since the previous flush (repeated
+        flushing never double-counts).  Flushing into a disabled
+        registry is a no-op that keeps the deltas pending.
+        """
+        if not metrics.enabled:
+            return
+        for attr in ("retries", "timeouts", "restarts",
+                     "worker_crashes", "give_ups"):
+            value = getattr(self, attr)
+            delta = value - self._flushed[attr]
+            if delta:
+                metrics.inc(f"pool.{attr}", delta)
+                self._flushed[attr] = value
 
     # ------------------------------------------------------------------
 

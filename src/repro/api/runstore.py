@@ -19,6 +19,8 @@ from typing import Optional, Union
 
 from repro.api.results import RunResult
 from repro.api.spec import ExperimentSpec, SpecError
+from repro.faults import inject
+from repro.faults.atomic import atomic_write
 
 __all__ = ["RunStore"]
 
@@ -43,11 +45,15 @@ class RunStore:
     False
 
     The store keeps lifetime accounting as plain ints -- ``hits`` /
-    ``misses`` / ``corrupt`` / ``puts`` -- published into a metrics
-    registry via :meth:`flush_metrics`.  A *corrupt* entry (file exists
-    but cannot be loaded) is still served as a miss so campaigns heal
-    by recomputing, but it is counted separately and logged as a
-    warning rather than silently swallowed.
+    ``misses`` / ``corrupt`` / ``quarantined`` / ``puts`` -- published
+    into a metrics registry via :meth:`flush_metrics`.  A *corrupt*
+    entry (file exists but cannot be loaded) is served as a miss so
+    campaigns heal by recomputing, counted and logged as a warning, and
+    *quarantined*: renamed to ``<entry>.corrupt`` so it stops shadowing
+    the slot (the recomputed result lands cleanly) while the bad bytes
+    stay on disk for post-mortem.  Writes go through
+    :func:`~repro.faults.atomic.atomic_write`, so a crash mid-``put``
+    never leaves a half-written entry behind.
     """
 
     def __init__(self, root: str) -> None:
@@ -55,8 +61,10 @@ class RunStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.quarantined = 0
         self.puts = 0
-        self._flushed = {"hits": 0, "misses": 0, "corrupt": 0, "puts": 0}
+        self._flushed = {"hits": 0, "misses": 0, "corrupt": 0,
+                         "quarantined": 0, "puts": 0}
 
     def path(self, key: Union[str, ExperimentSpec]) -> str:
         """Path of the stored run for a spec (or spec fingerprint)."""
@@ -80,8 +88,10 @@ class RunStore:
         :meth:`~repro.api.session.Session.run_key`), so edits to a
         referenced profile or space file miss instead of serving stale
         results.  Unreadable or stale-format entries also count as
-        misses (the caller recomputes and overwrites them), so a
-        corrupted store heals itself instead of failing campaigns.
+        misses (the caller recomputes and overwrites them) and are
+        quarantined to a ``.corrupt`` sidecar, so a corrupted store
+        heals itself instead of failing campaigns -- and instead of
+        re-parsing the same broken bytes on every later lookup.
         """
         path = self.path(key if key is not None else spec)
         if not os.path.exists(path):
@@ -92,13 +102,28 @@ class RunStore:
         except (OSError, ValueError, KeyError, SpecError) as exc:
             self.corrupt += 1
             self.misses += 1
-            logger.warning(
-                "corrupt run-store entry %s (%s: %s); recomputing",
-                path, type(exc).__name__, exc,
-            )
+            self._quarantine(path, exc)
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: str, exc: Exception) -> None:
+        """Move a corrupt entry aside so the slot reads as a clean miss."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            logger.warning(
+                "corrupt run-store entry %s (%s: %s); recomputing "
+                "(quarantine rename failed)",
+                path, type(exc).__name__, exc,
+            )
+            return
+        self.quarantined += 1
+        logger.warning(
+            "corrupt run-store entry %s (%s: %s); quarantined to "
+            "%s.corrupt, recomputing",
+            path, type(exc).__name__, exc, path,
+        )
 
     def put(self, result: RunResult, key: Optional[str] = None) -> str:
         """Store one result (overwrites) and return its store key.
@@ -106,26 +131,33 @@ class RunStore:
         Telemetry attached to the result is *not* stored: the store is
         content-addressed by what was computed, and stored bytes must
         be identical whether or not telemetry was enabled for the run.
+        The write is atomic (temp file + rename), so a crash here
+        leaves either the previous entry or the new one, never a
+        truncated file.
         """
         if key is None:
             key = result.spec_fingerprint
-        os.makedirs(self.root, exist_ok=True)
+        path = self.path(key)
         self.puts += 1
-        result.save(self.path(key), include_telemetry=False)
+        with atomic_write(path) as handle:
+            result.save(handle, include_telemetry=False)
+        inject.store_site(path, f"run_store:{key}:{self.puts}")
         return key
 
     def flush_metrics(self, metrics) -> None:
         """Publish store counters accumulated since the last flush.
 
         Increments ``run_store.hits`` / ``run_store.misses`` /
-        ``run_store.corrupt`` / ``run_store.puts`` on ``metrics`` by
-        the deltas since the previous flush (repeated flushing never
-        double-counts).  Flushing into a disabled registry is a no-op
-        that keeps the deltas pending.
+        ``run_store.corrupt`` / ``run_store.quarantined`` /
+        ``run_store.puts`` on ``metrics`` by the deltas since the
+        previous flush (repeated flushing never double-counts).
+        Flushing into a disabled registry is a no-op that keeps the
+        deltas pending.
         """
         if not metrics.enabled:
             return
-        for attr in ("hits", "misses", "corrupt", "puts"):
+        for attr in ("hits", "misses", "corrupt", "quarantined",
+                     "puts"):
             value = getattr(self, attr)
             delta = value - self._flushed[attr]
             if delta:

@@ -39,6 +39,7 @@ Examples
 from __future__ import annotations
 
 import hashlib
+import logging
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import obs
@@ -50,9 +51,13 @@ from repro.core.interval import ModelCache
 from repro.core.model import AnalyticalModel
 from repro.core.machine import MachineConfig, nehalem
 from repro.explore.engine import SweepEngine
+from repro.faults import inject
+from repro.faults.policy import RetryPolicy
 from repro.profiler.serialization import ProfileStore
 
 __all__ = ["Session", "config_from_overrides"]
+
+logger = logging.getLogger(__name__)
 
 #: Kinds whose results the :class:`RunStore` may serve from disk.
 #: ``profile`` runs always execute: their product is the profile file /
@@ -154,6 +159,20 @@ class Session:
         every :meth:`run`, wraps each run in spans, and attaches a
         ``telemetry`` block to the result.  Telemetry never changes
         results, fingerprints, or run-store bytes.
+    retry:
+        Optional :class:`~repro.faults.policy.RetryPolicy` for the
+        shared :class:`WorkerPool`'s task supervision (per-task
+        timeout, bounded retries, backoff).  The default policy
+        retries transient failures but never times tasks out; the CLI
+        maps ``--task-timeout`` / ``--task-retries`` here.  Because
+        every task is a pure function, supervision never changes
+        results -- a degraded campaign (pool gave up, engines fell
+        back to serial) still streams bitwise-identical points.
+
+    Construction also refreshes the fault-injection plan from the
+    ``REPRO_FAULTS`` environment (:func:`repro.faults.inject.refresh`),
+    so chaos-mode processes pick their plan up at the same boundary
+    that creates the pool the plan will exercise.
 
     Examples
     --------
@@ -170,17 +189,22 @@ class Session:
         model: Optional[AnalyticalModel] = None,
         model_backend: Optional[str] = None,
         telemetry: "obs.Telemetry | None" = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if isinstance(profile_store, str):
             profile_store = ProfileStore(profile_store)
         if isinstance(run_store, str):
             run_store = RunStore(run_store)
+        inject.refresh()
         self.workers = workers
         self.profile_store = profile_store
         self.run_store = run_store
         self.model_backend = model_backend
         self.telemetry = (telemetry if telemetry is not None
                           else obs.current())
+        #: ``(spec, exception)`` pairs collected by
+        #: :meth:`run_many` when ``keep_going`` is set.
+        self.failures: List[tuple] = []
 
         base = model if model is not None else AnalyticalModel()
         if base.cache is None:
@@ -192,7 +216,7 @@ class Session:
             base.interval.mlp_model: base
         }
         self.model = base
-        self.pool = WorkerPool(workers)
+        self.pool = WorkerPool(workers, retry=retry)
         self.engine = SweepEngine(
             model=base,
             workers=workers,
@@ -409,9 +433,10 @@ class Session:
         """Publish pending cache/store counters into the active registry.
 
         Covers every always-on collector the session owns: each model
-        variant's :class:`ModelCache`, the :class:`ProfileStore` and
-        the :class:`RunStore`.  A no-op while metrics are disabled (the
-        plain-int counters keep accumulating for a later flush).
+        variant's :class:`ModelCache`, the :class:`ProfileStore`, the
+        :class:`RunStore` and the :class:`WorkerPool`'s supervision
+        counters.  A no-op while metrics are disabled (the plain-int
+        counters keep accumulating for a later flush).
         """
         metrics = obs.metrics()
         if not metrics.enabled:
@@ -423,6 +448,7 @@ class Session:
             self.profile_store.flush_metrics(metrics)
         if self.run_store is not None:
             self.run_store.flush_metrics(metrics)
+        self.pool.flush_metrics(metrics)
 
     def _attach_telemetry(
         self,
@@ -451,14 +477,53 @@ class Session:
     def run_many(
         self,
         specs: Sequence[Union[ExperimentSpec, Mapping[str, Any]]],
-    ) -> List[RunResult]:
+        keep_going: bool = False,
+    ) -> List[Optional[RunResult]]:
         """Execute a campaign of specs on this session's warm resources.
 
         Runs sequentially in order (stages often feed each other's
         caches); with a :class:`RunStore` attached, already-computed
-        specs are skipped and served from disk.
+        specs are skipped and served from disk.  That store is also the
+        campaign checkpoint: a campaign that died mid-way re-runs with
+        the same specs and resumes where it stopped, because every
+        completed cacheable run was persisted (atomically) as it
+        finished.
+
+        Parameters
+        ----------
+        specs:
+            The experiment specs, run in order.
+        keep_going:
+            With the default ``False``, the first failing spec raises
+            and aborts the campaign (completed runs stay in the run
+            store).  With ``True``, a failing spec is recorded in
+            :attr:`failures` as ``(spec, exception)``, counted as
+            ``session.spec_failures``, its slot in the returned list is
+            ``None``, and the campaign continues.
+
+        Returns
+        -------
+        list of RunResult or None
+            One entry per spec, in order (``None`` only for specs that
+            failed under ``keep_going``).
         """
-        return [self.run(spec) for spec in specs]
+        results: List[Optional[RunResult]] = []
+        for spec in specs:
+            if not keep_going:
+                results.append(self.run(spec))
+                continue
+            try:
+                results.append(self.run(spec))
+            except Exception as exc:  # noqa: BLE001 -- campaign boundary
+                self.failures.append((spec, exc))
+                with obs.activate(self.telemetry):
+                    obs.metrics().inc("session.spec_failures")
+                logger.warning(
+                    "spec failed (%s: %s); continuing campaign",
+                    type(exc).__name__, exc,
+                )
+                results.append(None)
+        return results
 
     # -- per-kind executors ---------------------------------------------
 

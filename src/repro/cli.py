@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -395,32 +396,96 @@ def cmd_dvfs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recovery_lines(session) -> List[str]:
+    """Readable recovery summary from the session's plain-int counters."""
+    pairs = [
+        ("task retries", session.pool.retries),
+        ("task timeouts", session.pool.timeouts),
+        ("pool restarts", session.pool.restarts),
+        ("worker crashes", session.pool.worker_crashes),
+        ("pool give-ups", session.pool.give_ups),
+    ]
+    if session.run_store is not None:
+        pairs.append(("run-store entries quarantined",
+                      session.run_store.quarantined))
+    if session.profile_store is not None:
+        pairs.append(("table entries quarantined",
+                      session.profile_store.tables_quarantined))
+    pairs.append(("failed specs", len(session.failures)))
+    lines = [f"  {label:<32} {value}"
+             for label, value in pairs if value]
+    if not lines:
+        return []
+    return ["-- recovery " + "-" * 48] + lines
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.faults import ENV_SEED, ENV_SPEC, FaultSpecError, \
+        RetryPolicy
+    from repro.faults import inject as faults_inject
+
     specs = []
     for path in args.specs:
         try:
             specs.append(ExperimentSpec.load(path))
         except (OSError, ValueError) as exc:
             return _error(f"{path}: {exc}")
+    if args.faults is not None:
+        # Validate the spec before exporting it to worker processes.
+        try:
+            faults_inject.FaultPlan.parse(args.faults,
+                                          seed=args.faults_seed)
+        except FaultSpecError as exc:
+            return _error(f"--faults: {exc}")
+        os.environ[ENV_SPEC] = args.faults
+        os.environ[ENV_SEED] = str(args.faults_seed)
+    try:
+        faults_inject.refresh()
+    except FaultSpecError as exc:
+        return _error(f"{faults_inject.ENV_SPEC}: {exc}")
+    try:
+        retry = RetryPolicy(max_attempts=args.task_retries + 1,
+                            timeout=args.task_timeout)
+    except ValueError as exc:
+        return _error(str(exc))
     try:
         with Session(workers=args.workers,
                      profile_store=args.store,
-                     run_store=args.runs) as session:
-            results = session.run_many(specs)
+                     run_store=args.runs,
+                     retry=retry) as session:
+            results = session.run_many(specs,
+                                       keep_going=args.keep_going)
+            failures = list(session.failures)
+            recovery = _recovery_lines(session)
     except SpecError as exc:
         return _error(str(exc))
     for path, result in zip(args.specs, results):
+        if result is None:
+            print(f"{'FAILED':<6} {'-':<9} {'':>14} {path}")
+            continue
         status = "cached" if result.cached else "ran"
         print(f"{status:<6} {result.kind:<9} "
               f"[{result.spec_fingerprint[:12]}] {path}")
-    computed = sum(1 for r in results if not r.cached)
-    print(f"{len(results)} spec(s): {computed} computed, "
-          f"{len(results) - computed} from run store")
+    computed = sum(1 for r in results
+                   if r is not None and not r.cached)
+    cached = sum(1 for r in results if r is not None and r.cached)
+    summary = (f"{len(results)} spec(s): {computed} computed, "
+               f"{cached} from run store")
+    if failures:
+        summary += f", {len(failures)} failed"
+    print(summary)
+    if recovery:
+        print("\n".join(recovery))
+    for spec, exc in failures:
+        print(f"failed: {spec.kind} "
+              f"[{spec.fingerprint[:12]}] ({type(exc).__name__}: {exc})",
+              file=sys.stderr)
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump([r.to_dict() for r in results], handle, indent=2)
+            json.dump([r.to_dict() if r is not None else None
+                       for r in results], handle, indent=2)
         print(f"results -> {args.json}")
-    return 0
+    return 1 if failures else 0
 
 
 def _span_table_lines(spans) -> List[str]:
@@ -702,10 +767,33 @@ def build_parser() -> argparse.ArgumentParser:
                           "stage (warmed StatStack tables)")
     sub.add_argument("--runs", default=None, metavar="DIR",
                      help="RunStore directory: cache results by spec "
-                          "fingerprint and skip already-computed specs")
+                          "fingerprint and skip already-computed specs "
+                          "(also the campaign checkpoint: re-running "
+                          "resumes where an aborted campaign stopped)")
     sub.add_argument("--json", default=None, metavar="OUT.json",
                      help="write every RunResult artifact as one JSON "
                           "list")
+    sub.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SEC",
+                     help="per-task wall-clock budget on the worker "
+                          "pool; a task exceeding it restarts the pool "
+                          "and is retried (default: no timeout)")
+    sub.add_argument("--task-retries", type=int, default=2, metavar="N",
+                     help="retries per task after the first attempt "
+                          "(default: 2)")
+    sub.add_argument("--keep-going", action="store_true",
+                     help="record a failing spec and continue the "
+                          "campaign instead of aborting (exit status 1 "
+                          "if anything failed)")
+    sub.add_argument("--faults", default=None, metavar="SPEC",
+                     help="deterministic fault injection, e.g. "
+                          "'crash:0.05,hang:0.01:0.2,corrupt_store:0.02'"
+                          " (kinds: crash | hang | task_error | "
+                          "batch_error | corrupt_store); equivalent to "
+                          "setting REPRO_FAULTS")
+    sub.add_argument("--faults-seed", type=int, default=0, metavar="N",
+                     help="seed of the fault-injection hash "
+                          "(REPRO_FAULTS_SEED; default: 0)")
     sub.set_defaults(func=cmd_run)
 
     sub = subparsers.add_parser(

@@ -53,10 +53,51 @@ from repro.backends import resolve_model_backend
 from repro.core.interval import ModelCache
 from repro.core.machine import MachineConfig
 from repro.core.model import AnalyticalModel, ModelResult
+from repro.faults import inject
 from repro.profiler.profile import ApplicationProfile
 from repro.profiler.serialization import ProfileStore
 
 __all__ = ["SweepEngine"]
+
+
+#: Batch-backend failures that degrade to the scalar reference loop
+#: instead of aborting the sweep: the injected fault plus the error
+#: classes a broken vectorized program realistically raises.  The two
+#: backends are pinned bitwise-identical by the equivalence harness, so
+#: the fallback changes evaluation cost, never results.
+_BATCH_FALLBACK_ERRORS = (
+    inject.InjectedBatchError,
+    ArithmeticError,
+    ValueError,
+    TypeError,
+    IndexError,
+    KeyError,
+)
+
+
+def _eval_batch(
+    model: AnalyticalModel,
+    profile: ApplicationProfile,
+    chunk: Sequence[MachineConfig],
+    backend: str,
+    site: str,
+) -> List[ModelResult]:
+    """Evaluate one config chunk, degrading batch -> scalar on failure.
+
+    ``site`` names this batch for the fault-injection harness (see
+    :func:`repro.faults.inject.batch_site`).  When the batch backend
+    raises -- injected or real -- the chunk is re-evaluated with the
+    scalar reference backend (bitwise-identical results, per the
+    equivalence harness) and ``engine.backend_fallbacks`` is counted.
+    """
+    if backend == "batch":
+        try:
+            inject.batch_site(site)
+            return model.predict_batch(profile, chunk, backend="batch")
+        except _BATCH_FALLBACK_ERRORS:
+            obs.metrics().inc("engine.backend_fallbacks")
+            return model.predict_batch(profile, chunk, backend="scalar")
+    return model.predict_batch(profile, chunk, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -87,8 +128,9 @@ def _run_batch(task: Tuple[int, int, int]) -> List[ModelResult]:
     profile = _WORKER["profiles"][profile_index]  # type: ignore[index]
     configs = _WORKER["configs"]  # type: ignore[assignment]
     backend: str = _WORKER["backend"]  # type: ignore[assignment]
-    return model.predict_batch(
-        profile, configs[start:stop], backend=backend  # type: ignore[index]
+    return _eval_batch(
+        model, profile, configs[start:stop],  # type: ignore[index]
+        backend, f"{profile_index}:{start}",
     )
 
 
@@ -110,8 +152,9 @@ def _run_shared_batch(state, task: Tuple[int, int, int]):
         model.cache = ModelCache()
     profile_index, start, stop = task
     profile = profiles[profile_index]
-    results = model.predict_batch(
-        profile, configs[start:stop], backend=backend
+    results = _eval_batch(
+        model, profile, configs[start:stop], backend,
+        f"{profile_index}:{start}",
     )
     model.cache.flush_metrics(obs.metrics())
     return results
@@ -330,17 +373,37 @@ class SweepEngine:
         configs: Sequence[MachineConfig],
         backend: str,
     ) -> Iterator["DesignPoint"]:
+        tasks = self._batches(len(profiles), len(configs))
+        total = len(profiles) * len(configs)
+        yield from self._iter_serial_tail(
+            profiles, configs, backend, tasks, 0, total
+        )
+
+    def _iter_serial_tail(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        configs: Sequence[MachineConfig],
+        backend: str,
+        tasks: Sequence[Tuple[int, int, int]],
+        done: int,
+        total: int,
+    ) -> Iterator["DesignPoint"]:
+        """Evaluate ``tasks`` in-process, continuing the point stream.
+
+        The whole serial path is phrased as a *tail* so the parallel
+        path can hand over mid-sweep after a pool give-up: already
+        yielded points stay yielded, ``done`` keeps the progress
+        callback monotonic, and the remaining batches run here -- on
+        the same model and cache -- in the same grid order.
+        """
         from repro.explore.dse import DesignPoint
 
         metrics = obs.metrics()
-        total = len(profiles) * len(configs)
-        done = 0
-        for profile_index, start, stop in self._batches(
-            len(profiles), len(configs)
-        ):
+        for profile_index, start, stop in tasks:
             profile = profiles[profile_index]
-            results = self.model.predict_batch(
-                profile, configs[start:stop], backend=backend
+            results = _eval_batch(
+                self.model, profile, configs[start:stop], backend,
+                f"{profile_index}:{start}",
             )
             metrics.inc("engine.batches")
             metrics.inc("engine.points", len(results))
@@ -428,7 +491,12 @@ class SweepEngine:
         the stage's shared state (pickled once, installed per worker at
         most once) and streams batches back in submission order, so
         results are bitwise identical to :meth:`_iter_parallel`.
-        Platforms without working process support fall back to serial.
+        Platforms without working process support fall back to serial
+        up front; a :class:`~repro.api.pool.WorkerPoolError` raised
+        *mid-stream* (supervision gave the stage up) hands the
+        remaining batches to :meth:`_iter_serial_tail` -- completed
+        points are kept and the sweep finishes in-process with
+        identical results.
         """
         from repro.api.pool import WorkerPoolError
         from repro.explore.dse import DesignPoint
@@ -455,7 +523,16 @@ class SweepEngine:
         metrics = obs.metrics()
         total = len(profiles) * len(configs)
         done = 0
-        for (profile_index, start, _), results in zip(tasks, stream):
+        for completed, (profile_index, start, _) in enumerate(tasks):
+            try:
+                results = next(stream)
+            except WorkerPoolError:
+                metrics.inc("engine.serial_fallbacks")
+                yield from self._iter_serial_tail(
+                    profiles, configs, backend,
+                    tasks[completed:], done, total,
+                )
+                return
             metrics.inc("engine.batches")
             metrics.inc("engine.points", len(results))
             name = profiles[profile_index].name

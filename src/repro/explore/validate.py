@@ -278,11 +278,31 @@ class SimulationSweep:
         traces: Sequence[Trace],
         configs: Sequence[MachineConfig],
     ) -> Iterator[SimulatedPoint]:
-        metrics = obs.metrics()
+        tasks = self._batches(len(traces), len(configs))
         total = len(traces) * len(configs)
-        done = 0
-        for trace in traces:
-            for config in configs:
+        yield from self._iter_serial_tail(
+            traces, configs, tasks, 0, total
+        )
+
+    def _iter_serial_tail(
+        self,
+        traces: Sequence[Trace],
+        configs: Sequence[MachineConfig],
+        tasks: Sequence[Tuple[int, int, int]],
+        done: int,
+        total: int,
+    ) -> Iterator[SimulatedPoint]:
+        """Simulate ``tasks`` in-process, continuing the point stream.
+
+        Mirrors :meth:`SweepEngine._iter_serial_tail`: the serial path
+        phrased as a tail so :meth:`_iter_shared` can hand over
+        mid-sweep after a pool give-up without losing completed points
+        or re-simulating anything.
+        """
+        metrics = obs.metrics()
+        for trace_index, start, stop in tasks:
+            trace = traces[trace_index]
+            for config in configs[start:stop]:
                 point = self._fold(trace, config,
                                    simulate(trace, config))
                 metrics.inc("sim.points")
@@ -349,7 +369,10 @@ class SimulationSweep:
         :class:`~repro.workloads.columns.TraceColumns` arrays) -- they
         are part of the stage's shared state, pickled once and
         installed per worker at most once.  Platforms without working
-        process support fall back to serial.
+        process support fall back to serial up front; a
+        :class:`~repro.api.pool.WorkerPoolError` raised *mid-stream*
+        (supervision gave the stage up) hands the remaining batches to
+        :meth:`_iter_serial_tail` with completed points kept.
         """
         from repro.api.pool import WorkerPoolError
 
@@ -367,7 +390,15 @@ class SimulationSweep:
         metrics = obs.metrics()
         total = len(traces) * len(configs)
         done = 0
-        for (trace_index, start, _), results in zip(tasks, stream):
+        for completed, (trace_index, start, _) in enumerate(tasks):
+            try:
+                results = next(stream)
+            except WorkerPoolError:
+                metrics.inc("sim.serial_fallbacks")
+                yield from self._iter_serial_tail(
+                    traces, configs, tasks[completed:], done, total
+                )
+                return
             metrics.inc("sim.batches")
             metrics.inc("sim.points", len(results))
             trace = traces[trace_index]

@@ -1,0 +1,64 @@
+"""Crash-safe file writes: temp file in the same directory + rename.
+
+A store entry that is half-written when the process dies is worse than
+a missing one: it sits on disk failing every later read.  The
+:func:`atomic_write` context manager removes that window -- content is
+written to a ``mkstemp`` sibling in the destination directory and
+``os.replace``-d over the target only after the writer body finished,
+so readers observe either the old bytes or the new bytes, never a
+prefix.  On any error the temp file is removed and the destination is
+untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+__all__ = ["atomic_write"]
+
+
+@contextmanager
+def atomic_write(path: str, mode: str = "w") -> Iterator[IO]:
+    """Write ``path`` atomically: all of the new content or none of it.
+
+    Yields an open handle onto a temp file in the destination's
+    directory (same filesystem, so the final ``os.replace`` is atomic).
+    When the ``with`` body completes, the temp file replaces ``path``;
+    when it raises, the temp file is removed and ``path`` keeps its
+    previous content (or stays absent).
+
+    Parameters
+    ----------
+    path:
+        Destination path; its directory is created if missing.
+    mode:
+        Open mode for the temp handle (``"w"`` or ``"wb"``).
+
+    Examples
+    --------
+    >>> with atomic_write("store/entry.json") as handle:  # doctest: +SKIP
+    ...     json.dump(payload, handle)
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    committed = False
+    try:
+        handle = os.fdopen(fd, mode)
+        try:
+            yield handle
+        finally:
+            handle.close()
+        os.replace(tmp, path)
+        committed = True
+    finally:
+        if not committed:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass

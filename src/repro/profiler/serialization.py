@@ -22,6 +22,8 @@ import os
 from collections import Counter
 from typing import Any, Dict, IO, Optional, Union
 
+from repro.faults import inject
+from repro.faults.atomic import atomic_write
 from repro.frontend.entropy import BranchEntropyProfile
 from repro.profiler.dependences import ChainProfile, DependenceChains
 from repro.profiler.memory import (
@@ -376,12 +378,15 @@ class ProfileStore:
         Directory for the store; created on first use.
 
     Accounting: :attr:`tables_hits` / :attr:`tables_misses` /
-    :attr:`tables_corrupt` and :attr:`profiles_stored` count store
-    traffic unconditionally (plain integer adds), and
-    :meth:`flush_metrics` publishes the deltas since the previous
-    flush under ``profile_store.*`` metric names.  Corrupt table files
-    additionally emit a ``logging`` warning (logger
-    ``repro.profiler.serialization``) before being treated as misses.
+    :attr:`tables_corrupt` / :attr:`tables_quarantined` and
+    :attr:`profiles_stored` count store traffic unconditionally (plain
+    integer adds), and :meth:`flush_metrics` publishes the deltas since
+    the previous flush under ``profile_store.*`` metric names.  Corrupt
+    table files additionally emit a ``logging`` warning (logger
+    ``repro.profiler.serialization``), are renamed to a ``.corrupt``
+    sidecar, and are then treated as misses.  All writes are atomic
+    (temp file + rename), so a crash mid-write never leaves a
+    half-written profile or table entry.
     """
 
     def __init__(self, root: str) -> None:
@@ -392,10 +397,16 @@ class ProfileStore:
         self.tables_misses = 0
         #: Lifetime table files that existed but failed to parse.
         self.tables_corrupt = 0
+        #: Lifetime corrupt table files moved to ``.corrupt`` sidecars.
+        self.tables_quarantined = 0
         #: Lifetime profile writes that created a new store entry.
         self.profiles_stored = 0
         self._flushed = {"tables_hits": 0, "tables_misses": 0,
-                         "tables_corrupt": 0, "profiles_stored": 0}
+                         "tables_corrupt": 0, "tables_quarantined": 0,
+                         "profiles_stored": 0}
+        # Lifetime table-write ordinal: part of the fault-injection key
+        # so a recomputed entry draws a fresh corruption decision.
+        self._table_writes = 0
 
     # -- paths ----------------------------------------------------------
 
@@ -414,8 +425,8 @@ class ProfileStore:
         key = profile_fingerprint(profile)
         path = self.profile_path(key)
         if not os.path.exists(path):
-            os.makedirs(self.root, exist_ok=True)
-            save_profile(profile, path)
+            with atomic_write(path) as handle:
+                save_profile(profile, handle)
             self.profiles_stored += 1
         return key
 
@@ -432,8 +443,9 @@ class ProfileStore:
         """The cached StatStack tables for ``key``, or ``None``.
 
         A table file that exists but cannot be read or parsed counts
-        as :attr:`tables_corrupt` and logs a warning (the caller
-        recomputes and overwrites it, healing the store); a genuinely
+        as :attr:`tables_corrupt`, logs a warning, and is quarantined
+        to a ``.corrupt`` sidecar so it stops shadowing the slot (the
+        caller recomputes and the rewrite lands cleanly); a genuinely
         absent file is a silent plain miss.
         """
         path = self.tables_path(key)
@@ -444,17 +456,25 @@ class ProfileStore:
                 return json.load(handle)
         except (OSError, ValueError) as exc:
             self.tables_corrupt += 1
+            try:
+                os.replace(path, path + ".corrupt")
+                self.tables_quarantined += 1
+            except OSError:
+                pass
             logger.warning(
-                "corrupt StatStack table entry %s (%s); recomputing",
+                "corrupt StatStack table entry %s (%s); quarantined, "
+                "recomputing",
                 path, exc,
             )
             return None
 
     def save_tables(self, key: str, tables: Dict[str, Any]) -> None:
-        """Persist StatStack tables for ``key`` (overwrites)."""
-        os.makedirs(self.root, exist_ok=True)
-        with open(self.tables_path(key), "w") as handle:
+        """Persist StatStack tables for ``key`` (overwrites, atomic)."""
+        path = self.tables_path(key)
+        self._table_writes += 1
+        with atomic_write(path) as handle:
             json.dump(tables, handle)
+        inject.store_site(path, f"tables:{key}:{self._table_writes}")
 
     def warm(self, profile: ApplicationProfile) -> str:
         """Attach cached StatStack models to ``profile`` (or build+cache).
@@ -496,7 +516,8 @@ class ProfileStore:
 
         Increments ``profile_store.tables_hits`` /
         ``profile_store.tables_misses`` / ``profile_store.tables_corrupt``
-        / ``profile_store.profiles_stored`` on ``metrics`` by the deltas
+        / ``profile_store.tables_quarantined`` /
+        ``profile_store.profiles_stored`` on ``metrics`` by the deltas
         since the previous flush (repeated flushing never
         double-counts).  Flushing into a disabled registry is a no-op
         that keeps the deltas pending.
@@ -504,7 +525,7 @@ class ProfileStore:
         if not metrics.enabled:
             return
         for attr in ("tables_hits", "tables_misses", "tables_corrupt",
-                     "profiles_stored"):
+                     "tables_quarantined", "profiles_stored"):
             value = getattr(self, attr)
             delta = value - self._flushed[attr]
             if delta:

@@ -1,0 +1,37 @@
+"""Supervision-exceptions fixture: blanket handlers in a supervisor.
+
+Only flagged when the rule's ``supervision_modules`` option names this
+module -- the shipped default scopes the rule to the real fault layer.
+"""
+
+
+def retry_blindly(task):
+    """Swallows everything: the exact anti-pattern the rule exists for."""
+    try:
+        return task()
+    except:  # noqa: E722 -- deliberately bare for the fixture
+        return None
+
+
+def retry_exception(task):
+    """Catches Exception: still blanket, still flagged."""
+    try:
+        return task()
+    except Exception:
+        return None
+
+
+def retry_tuple(task):
+    """Hides BaseException inside a tuple: flagged all the same."""
+    try:
+        return task()
+    except (ValueError, BaseException):
+        return None
+
+
+def retry_named(task):
+    """Names concrete failure classes: the compliant shape."""
+    try:
+        return task()
+    except (OSError, TimeoutError):
+        return None

@@ -174,6 +174,48 @@ class TestDocstrings:
         spec.loader.exec_module(module)
         assert module.DEFAULT_TARGETS == list(DOCSTRING_TARGETS)
 
+    def test_faults_package_is_guaranteed(self):
+        assert "src/repro/faults" in DOCSTRING_TARGETS
+
+
+class TestSupervisionExceptions:
+    def test_blanket_handlers_flagged(self):
+        report = lint_bad(
+            "supervision-exceptions",
+            paths=("badpkg/supervision.py",),
+            options={"supervision_modules": ["badpkg.supervision"]},
+        )
+        symbols = sorted(f.symbol for f in report.findings)
+        assert symbols == ["bare except", "except BaseException",
+                           "except Exception"]
+        assert all("supervision" in f.message for f in report.findings)
+
+    def test_named_handlers_pass(self):
+        # retry_named catches (OSError, TimeoutError): not flagged even
+        # with the module in scope (three findings total, none on the
+        # named handler's line).
+        report = lint_bad(
+            "supervision-exceptions",
+            paths=("badpkg/supervision.py",),
+            options={"supervision_modules": ["badpkg.supervision"]},
+        )
+        assert len(report.findings) == 3
+
+    def test_out_of_scope_modules_are_quiet(self):
+        # Default scope is the real fault layer; fixture modules never
+        # match it, so the same file is clean without the override.
+        report = lint_bad("supervision-exceptions",
+                          paths=("badpkg/supervision.py",))
+        assert report.findings == []
+
+    def test_real_supervision_layer_is_clean(self):
+        repo_root = FIXTURES.parents[2]
+        report = run_lint(
+            ["src/repro/faults", "src/repro/api/pool.py"],
+            root=repo_root, rules=["supervision-exceptions"],
+        )
+        assert report.findings == []
+
 
 class TestBaseline:
     def test_suppresses_matching_findings(self):

@@ -1,6 +1,7 @@
 """The programmatic API: ExperimentSpec, RunResult, RunStore, Session."""
 
 import json
+import os
 
 import pytest
 
@@ -175,6 +176,32 @@ class TestRunStore:
         with open(store.path(sweep_spec), "w") as handle:
             handle.write("{not json")
         assert store.get(sweep_spec) is None
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path,
+                                                      sweep_spec):
+        store = RunStore(str(tmp_path / "runs"))
+        store.put(RunResult(spec=sweep_spec, data={}))
+        path = store.path(sweep_spec)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert store.get(sweep_spec) is None
+        assert store.corrupt == 1
+        assert store.quarantined == 1
+        # The broken payload is preserved beside the store for
+        # post-mortem inspection; the slot itself is free again.
+        assert not os.path.exists(path)
+        with open(path + ".corrupt") as handle:
+            assert handle.read() == "{not json"
+        # A second lookup is a plain miss: nothing left to quarantine.
+        assert store.get(sweep_spec) is None
+        assert store.quarantined == 1
+
+    def test_put_is_atomic_and_leaves_no_temp_files(self, tmp_path,
+                                                    sweep_spec):
+        store = RunStore(str(tmp_path / "runs"))
+        store.put(RunResult(spec=sweep_spec, data={"answer": 42}))
+        entries = os.listdir(tmp_path / "runs")
+        assert entries == [os.path.basename(store.path(sweep_spec))]
 
     def test_session_skips_already_computed_runs(self, tmp_path,
                                                  sweep_spec):
@@ -378,11 +405,30 @@ class TestWorkerPool:
         pool.inline_state_limit = 64  # force the spill path
         state = {"blob": "x" * 4096}
         with pool:
-            out = list(pool.imap(_echo, state, [1, 2]))
-            assert out == [(state, 1), (state, 2)]
+            stream = pool.imap(_echo, state, [1, 2])
             spill_dir = pool._spill_dir
             assert spill_dir is not None and os.listdir(spill_dir)
+            out = list(stream)
+            assert out == [(state, 1), (state, 2)]
+            # Fully-consumed stream reclaims its own spill file.
+            assert os.listdir(spill_dir) == []
         assert not os.path.exists(spill_dir)  # close() removed it
+
+    @pytest.mark.skipif(not _mp_available(),
+                        reason="platform cannot create processes")
+    def test_abandoned_stream_reclaims_spill(self):
+        import os
+
+        pool = WorkerPool(2)
+        pool.inline_state_limit = 64
+        state = {"blob": "y" * 4096}
+        with pool:
+            stream = pool.imap(_echo, state, [1, 2, 3])
+            next(stream)
+            spill_dir = pool._spill_dir
+            assert os.listdir(spill_dir)
+            stream.close()  # consumer walks away mid-stream
+            assert os.listdir(spill_dir) == []
 
 
 # ----------------------------------------------------------------------
