@@ -42,6 +42,14 @@ reproduction's core contracts:
     handlers: a supervisor that swallows everything turns real bugs
     into silent retries, so every handler there must name the concrete
     failure classes it absorbs.
+``async-safety``
+    Coroutines in the service layer (:data:`ASYNC_MODULES`) may not
+    reach blocking calls -- ``time.sleep``, raw ``open``/``os.replace``
+    file IO, ``WorkerPool.imap``, ``subprocess`` -- through the call
+    graph: one blocking call on the event loop stalls every connected
+    client.  Blocking work belongs behind ``loop.run_in_executor``
+    (passing a function *as an argument* creates no call edge, so the
+    executor route is structurally exempt).
 
 The in-memory :class:`~repro.core.interval.ModelCache` keys ``id()`` on
 purpose (pinned profiles make identity a safe per-process key), so the
@@ -68,6 +76,7 @@ __all__ = [
     "Rule",
     "RULES",
     "register_rule",
+    "ASYNC_MODULES",
     "DOCSTRING_TARGETS",
     "SUPERVISION_MODULES",
     "TAINT_SINKS",
@@ -631,6 +640,7 @@ DOCSTRING_TARGETS: Tuple[str, ...] = (
     "src/repro/obs",
     "src/repro/analysis",
     "src/repro/faults",
+    "src/repro/serve",
     "src/repro/core/model.py",
 )
 
@@ -759,4 +769,115 @@ def _check_supervision_exceptions(ctx) -> List[Finding]:
                          f"handlers turn real bugs into silent "
                          f"retries)"),
             ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rule: async-safety
+# ----------------------------------------------------------------------
+
+#: Module patterns (``fnmatch`` over dotted names) forming the async
+#: service layer, where the event loop must never block.
+ASYNC_MODULES: Tuple[str, ...] = (
+    "repro.serve",
+    "repro.serve.*",
+)
+
+#: Dotted blocking calls that stall the event loop outright.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.replace",
+    "os.rename",
+})
+
+#: Attribute-call method names that dispatch blocking work (the worker
+#: pool's map surface).
+_BLOCKING_METHODS = frozenset({"imap"})
+
+
+def _blocking_sites(info: FunctionInfo,
+                    module: ModuleInfo) -> List[Tuple[int, str]]:
+    """Blocking call sites in one function body.
+
+    Returns ``(line, label)`` pairs, deduplicated and sorted.  A
+    function merely *passed* somewhere (e.g. into
+    ``loop.run_in_executor``) is never a call site, so routing blocking
+    work through the executor is exempt by construction.
+    """
+    sites: Set[Tuple[int, str]] = set()
+    local = _local_names(info.node)
+    shadowed = set(module.bindings) - set(module.imports)
+
+    for node in _walk_own(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = dotted_parts(node.func)
+        dotted = (".".join(module.qualify(parts))
+                  if parts is not None else None)
+        if dotted is not None:
+            root = dotted.split(".")[0]
+            if dotted in _BLOCKING_CALLS:
+                sites.add((node.lineno, dotted))
+                continue
+            if root == "subprocess":
+                sites.add((node.lineno, dotted))
+                continue
+            if (dotted == "open" and "open" not in local
+                    and "open" not in shadowed):
+                sites.add((node.lineno, "open()"))
+                continue
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS):
+            sites.add((node.lineno, f"*.{node.func.attr}()"))
+    return sorted(sites)
+
+
+@register_rule(
+    "async-safety",
+    "coroutines in the service layer may not reach blocking calls "
+    "except through run_in_executor",
+)
+def _check_async_safety(ctx) -> List[Finding]:
+    """Walk the call graph forward from every service-layer coroutine.
+
+    Any ``async def`` in the scoped modules (the ``async_modules``
+    option, default :data:`ASYNC_MODULES`) is a start point; every
+    function it can reach through *direct* calls is scanned for
+    blocking sites.  Call edges come only from actual call expressions,
+    so work handed to ``loop.run_in_executor`` (a function reference
+    argument, never a call) stays invisible to the walk -- exactly the
+    one sanctioned escape hatch.
+    """
+    graph: CallGraph = ctx.graph
+    patterns = tuple(ctx.options.get("async_modules", ASYNC_MODULES))
+    site_cache: Dict[str, List[Tuple[int, str]]] = {}
+    findings: List[Finding] = []
+    coroutines = sorted(
+        qualname for qualname, info in graph.functions.items()
+        if isinstance(info.node, ast.AsyncFunctionDef)
+        and any(fnmatchcase(info.module, pat) for pat in patterns)
+    )
+    for coroutine in coroutines:
+        for reached, chain in sorted(graph.reachable(coroutine).items()):
+            info = graph.functions[reached]
+            if reached not in site_cache:
+                module = graph.modules[info.module]
+                site_cache[reached] = _blocking_sites(info, module)
+            for line, label in site_cache[reached]:
+                route = " -> ".join(
+                    graph.functions[q].name for q in chain
+                )
+                coroutine_name = coroutine.split(".")[-1]
+                findings.append(Finding(
+                    rule="async-safety",
+                    path=info.path,
+                    line=line,
+                    symbol=f"{coroutine_name}<-{label}",
+                    message=(
+                        f"blocking call '{label}' (in {info.qualname}) "
+                        f"is reachable from coroutine '{coroutine}' via "
+                        f"{route}; the event loop must not block -- "
+                        f"route it through loop.run_in_executor"
+                    ),
+                ))
     return findings

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 from typing import Optional, Union
 
 from repro.api.results import RunResult
@@ -46,7 +47,10 @@ class RunStore:
 
     The store keeps lifetime accounting as plain ints -- ``hits`` /
     ``misses`` / ``corrupt`` / ``quarantined`` / ``puts`` -- published
-    into a metrics registry via :meth:`flush_metrics`.  A *corrupt*
+    into a metrics registry via :meth:`flush_metrics`.  Counter updates
+    are guarded by an internal lock so concurrent readers/writers (the
+    ``repro serve`` thread-pool path) never lose increments; reading
+    the plain ints without the lock stays fine for reporting.  A *corrupt*
     entry (file exists but cannot be loaded) is served as a miss so
     campaigns heal by recomputing, counted and logged as a warning, and
     *quarantined*: renamed to ``<entry>.corrupt`` so it stops shadowing
@@ -56,6 +60,11 @@ class RunStore:
     never leaves a half-written entry behind.
     """
 
+    #: Plain-int accounting attributes published by
+    #: :meth:`flush_metrics` (subclasses may extend this tuple).
+    _COUNTER_ATTRS = ("hits", "misses", "corrupt", "quarantined",
+                      "puts")
+
     def __init__(self, root: str) -> None:
         self.root = root
         self.hits = 0
@@ -63,8 +72,19 @@ class RunStore:
         self.corrupt = 0
         self.quarantined = 0
         self.puts = 0
-        self._flushed = {"hits": 0, "misses": 0, "corrupt": 0,
-                         "quarantined": 0, "puts": 0}
+        self._flushed = {attr: 0 for attr in self._COUNTER_ATTRS}
+        self._lock = threading.Lock()
+
+    def _count(self, attr: str, value: int = 1) -> int:
+        """Increment one accounting counter under the store lock.
+
+        Returns the post-increment value (``put`` folds it into the
+        fault-injection site label, which must be race-free too).
+        """
+        with self._lock:
+            total = getattr(self, attr) + value
+            setattr(self, attr, total)
+        return total
 
     def path(self, key: Union[str, ExperimentSpec]) -> str:
         """Path of the stored run for a spec (or spec fingerprint)."""
@@ -95,16 +115,16 @@ class RunStore:
         """
         path = self.path(key if key is not None else spec)
         if not os.path.exists(path):
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             result = RunResult.load(path)
         except (OSError, ValueError, KeyError, SpecError) as exc:
-            self.corrupt += 1
-            self.misses += 1
+            self._count("corrupt")
+            self._count("misses")
             self._quarantine(path, exc)
             return None
-        self.hits += 1
+        self._count("hits")
         return result
 
     def _quarantine(self, path: str, exc: Exception) -> None:
@@ -118,7 +138,7 @@ class RunStore:
                 path, type(exc).__name__, exc,
             )
             return
-        self.quarantined += 1
+        self._count("quarantined")
         logger.warning(
             "corrupt run-store entry %s (%s: %s); quarantined to "
             "%s.corrupt, recomputing",
@@ -138,10 +158,10 @@ class RunStore:
         if key is None:
             key = result.spec_fingerprint
         path = self.path(key)
-        self.puts += 1
+        serial = self._count("puts")
         with atomic_write(path) as handle:
             result.save(handle, include_telemetry=False)
-        inject.store_site(path, f"run_store:{key}:{self.puts}")
+        inject.store_site(path, f"run_store:{key}:{serial}")
         return key
 
     def flush_metrics(self, metrics) -> None:
@@ -156,10 +176,10 @@ class RunStore:
         """
         if not metrics.enabled:
             return
-        for attr in ("hits", "misses", "corrupt", "quarantined",
-                     "puts"):
-            value = getattr(self, attr)
-            delta = value - self._flushed[attr]
+        for attr in self._COUNTER_ATTRS:
+            with self._lock:
+                value = getattr(self, attr)
+                delta = value - self._flushed[attr]
+                self._flushed[attr] = value
             if delta:
                 metrics.inc(f"run_store.{attr}", delta)
-                self._flushed[attr] = value

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import logging
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import obs
@@ -55,7 +56,7 @@ from repro.faults import inject
 from repro.faults.policy import RetryPolicy
 from repro.profiler.serialization import ProfileStore
 
-__all__ = ["Session", "config_from_overrides"]
+__all__ = ["Session", "config_from_overrides", "sweep_payload"]
 
 logger = logging.getLogger(__name__)
 
@@ -116,6 +117,84 @@ def _point_dict(point) -> Dict[str, float]:
         "energy_joules": point.energy_joules,
         "edp": point.edp,
         "ed2p": point.ed2p,
+    }
+
+
+def sweep_payload(
+    names: Sequence[str],
+    results: Mapping[str, list],
+    frontiers: Mapping[str, Any],
+    space_name: str,
+    n_configs: int,
+    objective: Optional[str],
+) -> Dict[str, Any]:
+    """Assemble the canonical sweep result payload from streamed points.
+
+    The single assembly routine behind every sweep result: the
+    session's :meth:`Session.run` path and the ``repro serve``
+    micro-batcher (which merges several sweep specs into one engine
+    pass) both build their payloads here, so a batched request's stored
+    result is bitwise identical to the same spec run solo.
+
+    Parameters
+    ----------
+    names:
+        Workload names in the spec's profile order (payload order is
+        part of the stored bytes).
+    results:
+        Per-workload :class:`~repro.explore.dse.DesignPoint` lists in
+        config order.
+    frontiers:
+        Per-workload :class:`~repro.explore.pareto.StreamingParetoFront`
+        fed the same points.
+    space_name:
+        The swept :class:`~repro.explore.space.DesignSpace` name.
+    n_configs:
+        Number of configurations evaluated (after ``limit``).
+    objective:
+        Optional objective name ranking the best average config.
+
+    Returns
+    -------
+    dict
+        The ``sweep`` kind's result payload.
+    """
+    from repro.explore.dse import best_average_config
+    from repro.explore.search import get_objective
+
+    workloads = [
+        {
+            "workload": name,
+            "points": [_point_dict(p) for p in results[name]],
+            "frontier": [
+                _point_dict(point) for _, _, point
+                in frontiers[name].frontier()
+            ],
+        }
+        for name in names
+    ]
+    own_results = {name: results[name] for name in names}
+    best_average = None
+    if n_configs:
+        if objective:
+            ranked = get_objective(objective)
+            best_average = {
+                "objective": ranked.name,
+                "config": best_average_config(
+                    own_results, metric=ranked.metric
+                ),
+            }
+        elif len(names) > 1:
+            # Historical default: rank by average CPI.
+            best_average = {
+                "objective": None,
+                "config": best_average_config(own_results),
+            }
+    return {
+        "space": space_name,
+        "n_configs": n_configs,
+        "workloads": workloads,
+        "best_average": best_average,
     }
 
 
@@ -202,6 +281,13 @@ class Session:
         self.model_backend = model_backend
         self.telemetry = (telemetry if telemetry is not None
                           else obs.current())
+        #: Serializes every run on this session.  The shared
+        #: :class:`WorkerPool` streams one supervised dispatch at a
+        #: time, so "thread-safe" for a session means "one experiment
+        #: at a time": ``repro serve`` calls :meth:`run` from a
+        #: thread-pool executor and this reentrant lock makes those
+        #: calls queue instead of corrupting pool/telemetry state.
+        self.lock = threading.RLock()
         #: ``(spec, exception)`` pairs collected by
         #: :meth:`run_many` when ``keep_going`` is set.
         self.failures: List[tuple] = []
@@ -397,10 +483,13 @@ class Session:
         RunResult
             The unified artifact; :attr:`RunResult.cached` is ``True``
             when it came from the :class:`RunStore`.
+
+        Safe to call from multiple threads: runs serialize on
+        :attr:`lock` (the shared pool handles one dispatch at a time).
         """
         spec = ExperimentSpec.coerce(spec)
         telemetry = self.telemetry
-        with obs.activate(telemetry):
+        with self.lock, obs.activate(telemetry):
             start_events = len(telemetry.tracer.events)
             baseline = (telemetry.metrics.snapshot()
                         if telemetry.metrics.enabled else None)
@@ -409,6 +498,27 @@ class Session:
                 self._flush_collectors()
             self._attach_telemetry(result, start_events, baseline)
         return result
+
+    def lookup(
+        self, spec: Union[ExperimentSpec, Mapping[str, Any]]
+    ) -> Optional[RunResult]:
+        """The run store's result for ``spec`` without computing.
+
+        ``None`` when no store is attached, the kind is not cacheable,
+        or the store misses.  A hit is marked ``cached`` exactly like
+        the :meth:`run` warm path -- the service layer answers warm
+        requests through here so they never wait behind the batcher.
+        """
+        spec = ExperimentSpec.coerce(spec)
+        if self.run_store is None or spec.kind not in _CACHEABLE_KINDS:
+            return None
+        key = self.run_key(spec)
+        with self.lock, obs.activate(self.telemetry):
+            with obs.span("run_store.lookup", kind=spec.kind):
+                cached = self.run_store.get(spec, key=key)
+        if cached is not None:
+            cached.cached = True
+        return cached
 
     def _execute(self, spec: ExperimentSpec) -> RunResult:
         """Serve one coerced spec from the run store or compute it."""
@@ -600,9 +710,7 @@ class Session:
 
     def _run_sweep(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         """Sweep a design space; per-workload points + Pareto fronts."""
-        from repro.explore.dse import best_average_config
         from repro.explore.pareto import StreamingParetoFront
-        from repro.explore.search import get_objective
 
         profiles = self._gather_profiles(params)
         names = [p.name for p in profiles]
@@ -623,42 +731,8 @@ class Session:
         for point in self.engine.iter_sweep(profiles, configs):
             results[point.workload].append(point)
             frontiers[point.workload].add_point(point)
-
-        workloads = [
-            {
-                "workload": profile.name,
-                "points": [
-                    _point_dict(p) for p in results[profile.name]
-                ],
-                "frontier": [
-                    _point_dict(point) for _, _, point
-                    in frontiers[profile.name].frontier()
-                ],
-            }
-            for profile in profiles
-        ]
-        best_average = None
-        if configs:
-            if params["objective"]:
-                objective = get_objective(params["objective"])
-                best_average = {
-                    "objective": objective.name,
-                    "config": best_average_config(
-                        results, metric=objective.metric
-                    ),
-                }
-            elif len(profiles) > 1:
-                # Historical default: rank by average CPI.
-                best_average = {
-                    "objective": None,
-                    "config": best_average_config(results),
-                }
-        return {
-            "space": space.name,
-            "n_configs": len(configs),
-            "workloads": workloads,
-            "best_average": best_average,
-        }
+        return sweep_payload(names, results, frontiers, space.name,
+                             len(configs), params["objective"])
 
     def _run_search(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         """Guided search over a space under an evaluation budget."""

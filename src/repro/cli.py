@@ -1,5 +1,5 @@
 """Command-line interface: profile, predict, simulate, sweep, search,
-validate, dvfs, run, stats, lint.
+validate, dvfs, run, serve, request, stats, lint.
 
 Every experiment subcommand is a thin adapter over the programmatic API
 (:mod:`repro.api`): it parses flags into a declarative
@@ -31,6 +31,9 @@ Examples::
     python -m repro.cli dvfs gcc.profile --power-cap 12
     python -m repro.cli run sweep.json validate.json \\
         --workers 4 --runs .run-store
+    python -m repro.cli serve --port 8765 --workers 4 --runs .run-store
+    python -m repro.cli request sweep.json --port 8765 --stream
+    python -m repro.cli request --stats --port 8765
     python -m repro.cli lint src/repro --baseline tools/lint_baseline.toml
 """
 
@@ -488,6 +491,95 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ExperimentServer, ShardedRunStore
+
+    run_store = None
+    if args.runs is not None:
+        run_store = ShardedRunStore(args.runs,
+                                    max_entries=args.max_entries)
+    try:
+        session = Session(workers=args.workers,
+                          profile_store=args.store,
+                          run_store=run_store,
+                          model_backend=args.model_backend)
+    except (SpecError, ValueError) as exc:
+        return _error(str(exc))
+    server = ExperimentServer(
+        session, args.host, args.port,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro serve: listening on "
+              f"http://{server.host}:{server.port} "
+              f"(workers={args.workers}, "
+              f"runs={args.runs or 'none'})")
+        print("repro serve: POST /run | GET /health /stats /metrics")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        return _error(f"bind {args.host}:{args.port}: {exc}")
+    finally:
+        session.close()
+    print(f"repro serve: drained "
+          f"({server.requests} request(s), "
+          f"{server.computations} computation(s), "
+          f"{server.coalesced} coalesced)")
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    from repro.serve import ServeError, get_json, request_run
+
+    if args.stats:
+        try:
+            payload = get_json(args.host, args.port, "/stats",
+                               timeout=args.timeout)
+        except (ServeError, OSError) as exc:
+            return _error(str(exc))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.spec is None:
+        return _error("spec file required (or use --stats)")
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except (OSError, ValueError) as exc:
+        return _error(f"{args.spec}: {exc}")
+
+    def on_point(event) -> None:
+        print(json.dumps(event, sort_keys=True))
+
+    try:
+        reply = request_run(
+            args.host, args.port, spec.to_dict(),
+            stream=args.stream, timeout=args.timeout,
+            on_point=on_point if args.stream else None)
+    except (ServeError, OSError) as exc:
+        return _error(str(exc))
+    status = "cached" if reply["cached"] else "computed"
+    print(f"{status:<8} {spec.kind:<9} "
+          f"[{spec.fingerprint[:12]}] {args.spec}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(reply, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"result -> {args.json}")
+    return 0
+
+
 def _span_table_lines(spans) -> List[str]:
     """Fixed-width table of aggregated span stats (name-keyed dicts)."""
     lines = [f"{'span':<28} {'calls':>6} {'total ms':>10} "
@@ -795,6 +887,74 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed of the fault-injection hash "
                           "(REPRO_FAULTS_SEED; default: 0)")
     sub.set_defaults(func=cmd_run)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="serve experiments over HTTP from one warm session "
+             "(dedup, sweep batching, sharded run store)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8765,
+                     help="bind port; 0 picks a free one "
+                          "(default: 8765)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="session worker processes (1 = serial)")
+    sub.add_argument("--store", default=None, metavar="DIR",
+                     help="ProfileStore directory (warmed StatStack "
+                          "tables shared by every request)")
+    sub.add_argument("--runs", default=None, metavar="DIR",
+                     help="sharded RunStore directory: results cached "
+                          "by content key; an existing flat store is "
+                          "read and migrated in place")
+    sub.add_argument("--max-entries", type=int, default=None,
+                     metavar="N",
+                     help="LRU cap on stored runs (default: unbounded)")
+    sub.add_argument("--max-queue", type=int, default=32, metavar="N",
+                     help="in-flight request cap; excess requests get "
+                          "503 (default: 32)")
+    sub.add_argument("--request-timeout", type=float, default=None,
+                     metavar="SEC",
+                     help="per-request deadline; 504 on expiry while "
+                          "the computation still warms the store "
+                          "(default: none)")
+    sub.add_argument("--batch-window", type=float, default=0.05,
+                     metavar="SEC",
+                     help="how long a sweep waits for compatible "
+                          "sweeps to merge with (default: 0.05)")
+    sub.add_argument("--max-batch", type=int, default=16, metavar="N",
+                     help="sweep specs per merged engine pass "
+                          "(default: 16)")
+    sub.add_argument("--drain-timeout", type=float, default=10.0,
+                     metavar="SEC",
+                     help="seconds SIGTERM/SIGINT waits for in-flight "
+                          "requests (default: 10)")
+    _add_model_backend_argument(sub)
+    sub.set_defaults(func=cmd_serve)
+
+    sub = subparsers.add_parser(
+        "request",
+        help="POST an ExperimentSpec JSON file to a running "
+             "'repro serve'")
+    sub.add_argument("spec", nargs="?", default=None,
+                     metavar="spec.json",
+                     help="ExperimentSpec JSON file (omit with "
+                          "--stats)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="server address (default: 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8765,
+                     help="server port (default: 8765)")
+    sub.add_argument("--stream", action="store_true",
+                     help="stream NDJSON partial results (one JSON "
+                          "line per design point) as they are computed")
+    sub.add_argument("--stats", action="store_true",
+                     help="print the server's GET /stats document and "
+                          "exit")
+    sub.add_argument("--timeout", type=float, default=None,
+                     metavar="SEC",
+                     help="socket timeout (default: wait indefinitely)")
+    sub.add_argument("--json", default=None, metavar="OUT.json",
+                     help="write the full reply as JSON")
+    sub.set_defaults(func=cmd_request)
 
     sub = subparsers.add_parser(
         "stats",

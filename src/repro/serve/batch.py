@@ -1,0 +1,350 @@
+"""Micro-batching of compatible sweep requests onto one engine pass.
+
+Sweeps dominate service traffic and parallelize per *(profile, config)*
+cell, so two concurrent sweep requests that differ only in their
+workload lists are one merged grid, not two: :class:`SweepBatcher`
+holds arriving sweep specs for a bounded window (``window`` seconds,
+``max_batch`` specs), groups the arrivals by **compatibility key** --
+the spec with its ``workloads`` field blanked, so profiling parameters,
+file profiles, space, limit and objective all must match -- and runs
+each group as a single
+:meth:`~repro.explore.engine.SweepEngine.iter_sweep` over the union of
+the group's profiles on the shared session.
+
+As the merged grid streams, every :class:`~repro.explore.dse.DesignPoint`
+is demultiplexed back to each client that asked for its workload:
+streaming clients receive NDJSON partials in engine order (profile-major,
+config order per workload -- deterministic for a given batch), and each
+spec's final payload is assembled by the same
+:func:`~repro.api.session.sweep_payload` routine the session uses, in
+the spec's own workload order, so a batched result is **bitwise
+identical** to the same spec run solo and lands in the run store under
+the spec's own key.
+
+Identical specs coalesce entirely: a submission whose run key is
+already pending or executing attaches to the existing entry instead of
+creating work (streaming late-joiners get the final result without the
+partial prefix that already streamed past).  All engine work runs on
+the server's thread-pool executor under the session lock -- the event
+loop only routes events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.api.results import RunResult
+from repro.api.session import Session, _point_dict, sweep_payload
+from repro.api.spec import ExperimentSpec, SpecError
+from repro.profiler.serialization import canonical_fingerprint
+
+__all__ = ["BatchTicket", "SweepBatcher"]
+
+
+def _consume_exception(future: "asyncio.Future") -> None:
+    """Mark a failed future observed (its waiter may have vanished)."""
+    if not future.cancelled() and future.exception() is not None:
+        pass
+
+
+class _Entry:
+    """One admitted spec: its identity, waiters and event fan-out."""
+
+    __slots__ = ("spec", "params", "key", "group_key", "future",
+                 "queues", "executing")
+
+    def __init__(self, spec: ExperimentSpec, key: str, group_key: str,
+                 future: "asyncio.Future") -> None:
+        self.spec = spec
+        self.params = spec.params
+        self.key = key
+        self.group_key = group_key
+        self.future = future
+        self.queues: List["asyncio.Queue"] = []
+        self.executing = False
+
+    def push_point(self, payload: Dict[str, Any]) -> None:
+        """Fan one partial point out to every attached stream."""
+        for queue in self.queues:
+            queue.put_nowait(("point", payload))
+
+    def resolve(self, result: RunResult) -> None:
+        """Deliver the final result to every waiter (idempotent)."""
+        if self.future.done():
+            return
+        for queue in self.queues:
+            queue.put_nowait(("end", None))
+        self.future.set_result(result)
+
+    def resolve_error(self, exc: BaseException) -> None:
+        """Fail every waiter with one exception (idempotent)."""
+        if self.future.done():
+            return
+        for queue in self.queues:
+            queue.put_nowait(("end", None))
+        self.future.set_exception(exc)
+
+
+class BatchTicket:
+    """A submitted spec's handle: the result future + optional stream.
+
+    ``future`` resolves to the spec's :class:`RunResult`;  ``queue``
+    (present only for streaming submissions) yields ``("point",
+    payload)`` events followed by one ``("end", None)`` sentinel.
+    Await the future through :func:`asyncio.shield` -- it may be shared
+    with other clients.
+    """
+
+    __slots__ = ("future", "queue")
+
+    def __init__(self, future: "asyncio.Future",
+                 queue: Optional["asyncio.Queue"]) -> None:
+        self.future = future
+        self.queue = queue
+
+
+class SweepBatcher:
+    """Bounded micro-batching queue over one session's engine.
+
+    Parameters
+    ----------
+    session:
+        The shared warm :class:`~repro.api.session.Session`.
+    executor:
+        The server's thread-pool executor; all blocking engine/store
+        work runs there (never on the event loop).
+    window:
+        Seconds the first arrival waits for compatible company.
+    max_batch:
+        Specs per collection round; a full round executes immediately.
+
+    Plain-int counters: ``groups`` (merged engine passes), ``computed``
+    (specs computed fresh), ``merged`` (specs that shared another
+    spec's pass), ``followers`` (submissions coalesced onto an
+    identical in-flight spec).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        executor,
+        window: float = 0.05,
+        max_batch: int = 16,
+    ) -> None:
+        self.session = session
+        self.executor = executor
+        self.window = window
+        self.max_batch = max_batch
+        self.groups = 0
+        self.computed = 0
+        self.merged = 0
+        self.followers = 0
+        self._arrivals: "asyncio.Queue[_Entry]" = asyncio.Queue()
+        self._waiters: Dict[str, _Entry] = {}
+        self._worker: Optional["asyncio.Task"] = None
+
+    @staticmethod
+    def group_key(spec: ExperimentSpec) -> str:
+        """The compatibility key: the spec with workloads blanked.
+
+        Two sweep specs merge exactly when everything except their
+        ``workloads`` lists agrees (kind, file profiles, space,
+        objective, limit and all profiling parameters).
+        """
+        params = dict(spec.params)
+        params["workloads"] = None
+        return canonical_fingerprint({"kind": spec.kind,
+                                      "params": params})
+
+    def submit(self, spec: ExperimentSpec, key: str,
+               want_points: bool = False) -> BatchTicket:
+        """Admit one sweep spec; coalesce onto an identical in-flight one.
+
+        ``key`` is the spec's :meth:`Session.run_key` (computed by the
+        caller off the event loop -- it may hash referenced files).
+        """
+        loop = asyncio.get_running_loop()
+        existing = self._waiters.get(key)
+        if existing is not None:
+            self.followers += 1
+            queue: Optional[asyncio.Queue] = None
+            if want_points:
+                queue = asyncio.Queue()
+                if existing.executing:
+                    # The partial prefix already streamed past; the
+                    # late joiner gets the final result only.
+                    queue.put_nowait(("end", None))
+                else:
+                    existing.queues.append(queue)
+            return BatchTicket(existing.future, queue)
+        future = loop.create_future()
+        future.add_done_callback(_consume_exception)
+        entry = _Entry(spec, key, self.group_key(spec), future)
+        queue = None
+        if want_points:
+            queue = asyncio.Queue()
+            entry.queues.append(queue)
+        self._waiters[key] = entry
+        future.add_done_callback(
+            lambda _done, key=key, entry=entry: self._forget(key, entry)
+        )
+        self._arrivals.put_nowait(entry)
+        if self._worker is None or self._worker.done():
+            self._worker = loop.create_task(self._run())
+        return BatchTicket(future, queue)
+
+    def _forget(self, key: str, entry: _Entry) -> None:
+        """Drop a finished entry so its key becomes coalescible again."""
+        if self._waiters.get(key) is entry:
+            del self._waiters[key]
+
+    async def _run(self) -> None:
+        """Collect arrival rounds and execute their groups in order."""
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._arrivals.get()
+            batch = [entry]
+            deadline = loop.time() + self.window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._arrivals.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            groups: Dict[str, List[_Entry]] = {}
+            for item in batch:
+                groups.setdefault(item.group_key, []).append(item)
+            for group in groups.values():
+                for item in group:
+                    item.executing = True
+                self.groups += 1
+                self.computed += len(group)
+                self.merged += len(group) - 1
+                try:
+                    await loop.run_in_executor(
+                        self.executor, _run_group, self.session, group,
+                        loop,
+                    )
+                except Exception as exc:  # noqa: BLE001 -- waiter boundary
+                    for item in group:
+                        item.resolve_error(exc)
+
+    async def close(self) -> None:
+        """Stop the collector and fail anything still queued."""
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        for entry in list(self._waiters.values()):
+            entry.resolve_error(
+                ConnectionError("server shutting down"))
+
+
+def _route_points(session: Session, group: List[_Entry],
+                  profiles: List[Any], configs: List[Any],
+                  wanting: Mapping[str, List[_Entry]],
+                  emit: Callable[[_Entry, Dict[str, Any]], None],
+                  ) -> Tuple[Dict[str, list], Dict[str, Any]]:
+    """Stream the merged grid, demultiplexing points per entry."""
+    from repro.explore.pareto import StreamingParetoFront
+
+    results: Dict[str, list] = {name: [] for name in wanting}
+    frontiers: Dict[str, Any] = {
+        name: StreamingParetoFront() for name in wanting
+    }
+    for point in session.engine.iter_sweep(profiles, configs):
+        name = point.workload
+        results[name].append(point)
+        frontiers[name].add_point(point)
+        payload = {"event": "point", "workload": name,
+                   **_point_dict(point)}
+        for entry in wanting[name]:
+            if entry.queues:
+                emit(entry, payload)
+    return results, frontiers
+
+
+def _entry_names(session: Session, entry: _Entry) -> List[str]:
+    """The entry's workload names in spec order (validated)."""
+    profiles = session._gather_profiles(entry.params)
+    names = [profile.name for profile in profiles]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise SpecError(
+            "duplicate profile name(s): " + ", ".join(duplicates)
+            + " (results are keyed by workload name; profiles "
+            "would silently merge)"
+        )
+    return names
+
+
+def _run_group(session: Session, group: List[_Entry], loop) -> None:
+    """Execute one compatible group on the executor thread.
+
+    Runs under the session lock with the session's telemetry active;
+    every waiter is resolved through the event loop, never directly
+    from this thread.
+    """
+    def resolve(entry: _Entry, result: RunResult) -> None:
+        loop.call_soon_threadsafe(entry.resolve, result)
+
+    def fail(entry: _Entry, exc: BaseException) -> None:
+        loop.call_soon_threadsafe(entry.resolve_error, exc)
+
+    def emit(entry: _Entry, payload: Dict[str, Any]) -> None:
+        loop.call_soon_threadsafe(entry.push_point, payload)
+
+    with session.lock, obs.activate(session.telemetry):
+        live: List[Tuple[_Entry, List[str]]] = []
+        profiles: List[Any] = []
+        seen: Dict[int, Any] = {}
+        for entry in group:
+            try:
+                names = _entry_names(session, entry)
+                for profile in session._gather_profiles(entry.params):
+                    if id(profile) not in seen:
+                        seen[id(profile)] = profile
+                        profiles.append(profile)
+            except Exception as exc:  # noqa: BLE001 -- waiter boundary
+                fail(entry, exc)
+                continue
+            live.append((entry, names))
+        if not live:
+            return
+        try:
+            with obs.span("serve.batch", specs=len(live),
+                          profiles=len(profiles)):
+                params = live[0][0].params
+                space = session._space(params)
+                configs = space.configs()
+                if params["limit"] is not None:
+                    configs = configs[:params["limit"]]
+                wanting: Dict[str, List[_Entry]] = {}
+                for entry, names in live:
+                    for name in names:
+                        wanting.setdefault(name, []).append(entry)
+                results, frontiers = _route_points(
+                    session, group, profiles, configs, wanting, emit)
+                for entry, names in live:
+                    payload = sweep_payload(
+                        names, results, frontiers, space.name,
+                        len(configs), params["objective"])
+                    result = RunResult(spec=entry.spec, data=payload)
+                    if session.run_store is not None:
+                        with obs.span("run_store.put",
+                                      kind=entry.spec.kind):
+                            session.run_store.put(result,
+                                                  key=entry.key)
+                    resolve(entry, result)
+            session._flush_collectors()
+        except Exception as exc:  # noqa: BLE001 -- waiter boundary
+            for entry, _names in live:
+                fail(entry, exc)

@@ -1,0 +1,523 @@
+"""The multi-tenant experiment service front door.
+
+:class:`ExperimentServer` exposes one warm
+:class:`~repro.api.session.Session` -- its loaded profiles, model
+caches, worker pool and run store -- to many concurrent clients over a
+small HTTP/JSON surface:
+
+``POST /run``
+    Body: an :class:`~repro.api.spec.ExperimentSpec` JSON document.
+    Answers ``{"cached": ..., "result": ...}``; with ``?stream=1`` the
+    response is chunked NDJSON -- ``{"event": "point", ...}`` partials
+    as design points are computed, then one ``{"event": "result", ...}``
+    line.
+``GET /health``
+    Liveness plus drain state.
+``GET /stats``
+    The server's plain-int counters (dedup, batching, shedding) next to
+    the session's store/pool counters.
+``GET /metrics``
+    The session telemetry's metrics snapshot (when enabled).
+
+Three layers keep N clients cheaper than N sessions: warm requests are
+answered straight from the run store (off-loop, before any queueing);
+identical cold requests coalesce onto one in-flight computation
+(:class:`~repro.serve.dedup.InflightTable`); compatible concurrent
+sweeps merge into shared engine passes
+(:class:`~repro.serve.batch.SweepBatcher`).  Overload is shed with
+``503`` at ``max_queue`` in-flight requests, per-request deadlines
+answer ``504`` (the shielded computation still completes and lands in
+the store), and ``SIGTERM``/``SIGINT`` trigger a graceful drain: stop
+accepting, finish in-flight work, then exit.
+
+The event loop never blocks: every session/store/engine call runs on a
+small thread-pool executor (the ``async-safety`` lint rule keeps it
+that way), and the executor threads serialize on the session lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import signal
+import socket
+from typing import Any, Dict, Optional
+
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec, SpecError
+from repro.serve.batch import SweepBatcher
+from repro.serve.dedup import InflightTable
+from repro.serve.protocol import (HttpRequest, NdjsonStream,
+                                  ProtocolError, read_request,
+                                  write_json)
+
+__all__ = ["ExperimentServer", "ServerThread"]
+
+_SERVER_COUNTERS = ("requests", "store_hits", "shed", "timeouts",
+                    "errors", "disconnects", "streams")
+
+
+class ExperimentServer:
+    """Async HTTP service over one shared warm session.
+
+    Parameters
+    ----------
+    session:
+        The session every request runs against.  The server serializes
+        engine work on ``session.lock``; the caller keeps ownership
+        (closing the session after :meth:`drain` is the caller's job).
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_queue:
+        In-flight request cap; excess requests are shed with ``503``.
+    request_timeout:
+        Per-request deadline in seconds for non-streaming requests
+        (``504`` on expiry; the underlying computation finishes and
+        warms the store).  ``None`` disables the deadline.
+    batch_window / max_batch:
+        Sweep micro-batching knobs (see
+        :class:`~repro.serve.batch.SweepBatcher`).
+    drain_timeout:
+        Seconds :meth:`drain` waits for in-flight requests.
+    executor_workers:
+        Thread-pool size for blocking session/store work.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        max_queue: int = 32,
+        request_timeout: Optional[float] = None,
+        batch_window: float = 0.05,
+        max_batch: int = 16,
+        drain_timeout: float = 10.0,
+        executor_workers: int = 4,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self.executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self.inflight = InflightTable()
+        self.batcher = SweepBatcher(session, self.executor,
+                                    window=batch_window,
+                                    max_batch=max_batch)
+        self.requests = 0
+        self.store_hits = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.disconnects = 0
+        self.streams = 0
+        self._active = 0
+        self._draining = False
+        self._flushed: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._shutdown = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port)
+        for sock in self._server.sockets or ():
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                self.port = sock.getsockname()[1]
+                break
+
+    async def serve_forever(self) -> None:
+        """Run until ``SIGTERM``/``SIGINT`` (or :meth:`shutdown`), then drain."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.shutdown)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        try:
+            await self._shutdown.wait()
+            await self.drain()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    def shutdown(self) -> None:
+        """Request a graceful drain (signal-handler safe)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, release workers.
+
+        In-flight requests get :attr:`drain_timeout` seconds to finish;
+        the executor is then shut down.  The session itself stays open
+        (the owner closes it).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._idle is not None and self._active:
+            try:
+                await asyncio.wait_for(self._idle.wait(),
+                                       self.drain_timeout)
+            except asyncio.TimeoutError:
+                pass
+        await self.batcher.close()
+        self.executor.shutdown(wait=False)
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def computations(self) -> int:
+        """Engine passes actually executed for ``/run`` requests."""
+        return self.inflight.leaders + self.batcher.groups
+
+    @property
+    def coalesced(self) -> int:
+        """Requests answered without their own engine pass."""
+        return (self.inflight.followers + self.batcher.followers
+                + self.batcher.merged + self.store_hits)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` document (plain ints, JSON-clean)."""
+        server: Dict[str, Any] = {
+            name: getattr(self, name) for name in _SERVER_COUNTERS
+        }
+        server["active"] = self._active
+        server["draining"] = self._draining
+        server["computations"] = self.computations
+        server["coalesced"] = self.coalesced
+        payload: Dict[str, Any] = {
+            "server": server,
+            "dedup": {"leaders": self.inflight.leaders,
+                      "followers": self.inflight.followers,
+                      "inflight": len(self.inflight)},
+            "batch": {"groups": self.batcher.groups,
+                      "computed": self.batcher.computed,
+                      "merged": self.batcher.merged,
+                      "followers": self.batcher.followers},
+        }
+        store = self.session.run_store
+        if store is not None:
+            payload["store"] = {
+                attr: getattr(store, attr)
+                for attr in store._COUNTER_ATTRS
+            }
+        return payload
+
+    def flush_metrics(self) -> None:
+        """Publish ``serve.*`` counter deltas into the session metrics."""
+        metrics = self.session.telemetry.metrics
+        if not metrics.enabled:
+            return
+        values = {name: getattr(self, name)
+                  for name in _SERVER_COUNTERS}
+        values["dedup_leaders"] = self.inflight.leaders
+        values["dedup_followers"] = self.inflight.followers
+        values["batch_groups"] = self.batcher.groups
+        values["batch_merged"] = self.batcher.merged
+        values["batch_followers"] = self.batcher.followers
+        for name, value in values.items():
+            delta = value - self._flushed.get(name, 0)
+            if delta:
+                metrics.inc(f"serve.{name}", delta)
+                self._flushed[name] = value
+
+    # -- connection handling -------------------------------------------
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Serve one connection: requests until close or stream end."""
+        try:
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                self.requests += 1
+                with self.session.telemetry.span(
+                        "serve.request", method=request.method,
+                        path=request.path):
+                    keep = await self._dispatch(request, writer)
+                self.flush_metrics()
+                if not keep or not request.keep_alive():
+                    break
+        except ProtocolError as exc:
+            try:
+                await write_json(writer, exc.status,
+                                 {"error": str(exc)})
+            except (ConnectionError, OSError):
+                self.disconnects += 1
+        except (ConnectionError, OSError):
+            self.disconnects += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Route one request; True when the connection may persist."""
+        if request.path == "/health":
+            if request.method != "GET":
+                return await self._method_not_allowed(writer)
+            status = "draining" if self._draining else "ok"
+            await write_json(writer, 200, {"status": status,
+                                           "active": self._active})
+            return True
+        if request.path == "/stats":
+            if request.method != "GET":
+                return await self._method_not_allowed(writer)
+            await write_json(writer, 200, self.stats())
+            return True
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return await self._method_not_allowed(writer)
+            metrics = self.session.telemetry.metrics
+            if metrics.enabled:
+                self.flush_metrics()
+                payload: Dict[str, Any] = {"enabled": True,
+                                           **metrics.snapshot()}
+            else:
+                payload = {"enabled": False}
+            await write_json(writer, 200, payload)
+            return True
+        if request.path == "/run":
+            if request.method != "POST":
+                return await self._method_not_allowed(writer)
+            return await self._run_route(request, writer)
+        await write_json(writer, 404,
+                         {"error": f"no such route: {request.path}"})
+        return True
+
+    async def _method_not_allowed(self,
+                                  writer: asyncio.StreamWriter) -> bool:
+        """Answer 405 (the route exists, the verb is wrong)."""
+        await write_json(writer, 405, {"error": "method not allowed"})
+        return True
+
+    # -- /run ----------------------------------------------------------
+
+    async def _run_route(self, request: HttpRequest,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Admission control + error envelope around :meth:`_execute`."""
+        if self._draining:
+            self.shed += 1
+            await write_json(writer, 503, {"error": "server draining"})
+            return False
+        if self._active >= self.max_queue:
+            self.shed += 1
+            await write_json(
+                writer, 503,
+                {"error": f"overloaded ({self._active} in flight)"})
+            return True
+        self._active += 1
+        self._idle.clear()
+        try:
+            return await self._execute(request, writer)
+        except ProtocolError as exc:
+            await write_json(writer, exc.status, {"error": str(exc)})
+            return True
+        except SpecError as exc:
+            await write_json(writer, 400, {"error": str(exc)})
+            return True
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            await write_json(
+                writer, 504,
+                {"error": "request deadline exceeded (the computation "
+                          "continues and will warm the store)"})
+            return True
+        except (ConnectionError, OSError):
+            self.disconnects += 1
+            return False
+        except Exception as exc:  # noqa: BLE001 -- service boundary
+            self.errors += 1
+            try:
+                await write_json(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"})
+            except (ConnectionError, OSError):
+                self.disconnects += 1
+            return False
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    async def _execute(self, request: HttpRequest,
+                       writer: asyncio.StreamWriter) -> bool:
+        """Parse, answer warm from the store, else compute (coalesced)."""
+        loop = asyncio.get_running_loop()
+        try:
+            spec = ExperimentSpec.coerce(request.json())
+        except SpecError:
+            raise
+        stream = request.flag("stream")
+
+        # Warm path: the store answers off-loop, before any queueing.
+        cached = await loop.run_in_executor(
+            self.executor, self.session.lookup, spec)
+        if cached is not None:
+            self.store_hits += 1
+            return await self._respond(writer, cached, stream)
+
+        key = await loop.run_in_executor(
+            self.executor, Session.run_key, spec)
+        if spec.kind == "sweep":
+            return await self._run_sweep(spec, key, stream, writer)
+        return await self._run_solo(spec, key, stream, writer)
+
+    async def _run_solo(self, spec: ExperimentSpec, key: str,
+                        stream: bool,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Non-sweep kinds: dedup identical requests, run on a worker."""
+        loop = asyncio.get_running_loop()
+
+        async def compute():
+            return await loop.run_in_executor(
+                self.executor, self.session.run, spec)
+
+        waiter = self.inflight.run(key, compute)
+        if self.request_timeout is not None:
+            result = await asyncio.wait_for(waiter,
+                                            self.request_timeout)
+        else:
+            result = await waiter
+        return await self._respond(writer, result, stream)
+
+    async def _run_sweep(self, spec: ExperimentSpec, key: str,
+                         stream: bool,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Sweeps: micro-batch compatible specs, stream partials."""
+        ticket = self.batcher.submit(spec, key, want_points=stream)
+        if not stream:
+            waiter = asyncio.shield(ticket.future)
+            if self.request_timeout is not None:
+                result = await asyncio.wait_for(waiter,
+                                                self.request_timeout)
+            else:
+                result = await waiter
+            return await self._respond(writer, result, False)
+
+        self.streams += 1
+        ndjson = NdjsonStream(writer)
+        await ndjson.start()
+        while True:
+            kind, payload = await ticket.queue.get()
+            if kind == "end":
+                break
+            await ndjson.send(payload)
+        result = await asyncio.shield(ticket.future)
+        await ndjson.send({"event": "result", "cached": result.cached,
+                           "result": result.to_dict(
+                               include_telemetry=False)})
+        await ndjson.close()
+        return False
+
+    async def _respond(self, writer: asyncio.StreamWriter,
+                       result, stream: bool) -> bool:
+        """Write one final result (plain JSON or a one-line stream)."""
+        document = result.to_dict(include_telemetry=False)
+        if stream:
+            self.streams += 1
+            ndjson = NdjsonStream(writer)
+            await ndjson.start()
+            await ndjson.send({"event": "result",
+                               "cached": result.cached,
+                               "result": document})
+            await ndjson.close()
+            return False
+        await write_json(writer, 200, {"cached": result.cached,
+                                       "result": document})
+        return True
+
+
+class ServerThread:
+    """An :class:`ExperimentServer` on a background thread's event loop.
+
+    For tests, benchmarks and notebook use: enter the context manager,
+    talk to ``127.0.0.1:<thread.port>``, leave to drain and join.
+
+    Examples
+    --------
+    >>> with ServerThread(session, port=0) as server:    # doctest: +SKIP
+    ...     reply = request_run("127.0.0.1", server.port, spec)
+    """
+
+    def __init__(self, session: Session, host: str = "127.0.0.1",
+                 port: int = 0, **kwargs: Any) -> None:
+        import threading
+
+        self.server = ExperimentServer(session, host, port, **kwargs)
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-serve-loop",
+                                        daemon=True)
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid once the context manager has entered)."""
+        return self.server.port
+
+    def _main(self) -> None:
+        """Thread body: run the server's loop until drained."""
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 -- reported to owner
+            self._failure = exc
+        finally:
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._failure is not None:
+            raise RuntimeError("server failed to start") \
+                from self._failure
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request a drain and join the loop thread.
+
+        The shutdown event lives on the server's loop, so the request
+        hops through ``call_soon_threadsafe`` (events are not
+        thread-safe to set directly).
+        """
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server.shutdown)
+        self._thread.join(timeout=timeout)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

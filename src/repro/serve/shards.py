@@ -1,0 +1,205 @@
+"""Fingerprint-sharded :class:`~repro.api.runstore.RunStore`.
+
+The flat run-store layout (``<root>/<fingerprint>.run.json``) is fine
+for campaign checkpoints but degrades once a long-lived service caches
+millions of runs: every lookup scans one giant directory and most
+filesystems handle huge flat directories badly.  The service layer uses
+:class:`ShardedRunStore` instead:
+
+* entries live under fingerprint-prefix shard directories --
+  ``<root>/<fp[:width]>/<fp>.run.json`` -- so each directory stays
+  small and lookups stay O(1) as the store grows;
+* the **legacy flat layout is read transparently**: a lookup that
+  misses the sharded path falls back to the flat path and migrates the
+  entry into its shard on first touch (``os.replace``, atomic on one
+  filesystem), so pointing ``repro serve`` at an existing campaign
+  store just works and upgrades itself incrementally;
+* an optional **LRU size cap** (``max_entries``) bounds the disk
+  footprint: when a put grows the store past the cap, the
+  least-recently-used entries are deleted (and counted as
+  ``run_store.evictions``).  Recency is tracked per process and seeded
+  deterministically from a sorted directory scan, so eviction order is
+  a pure function of the operation sequence -- no mtimes, no clock.
+
+All bookkeeping shares the base store's lock, so the sharded store is
+safe for the multi-threaded ``repro serve`` executor path.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Optional, Union
+
+from repro.api.results import RunResult
+from repro.api.runstore import RunStore
+from repro.api.spec import ExperimentSpec
+
+__all__ = ["ShardedRunStore"]
+
+
+class ShardedRunStore(RunStore):
+    """A :class:`RunStore` with prefix sharding and an LRU size cap.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).  May hold a legacy
+        flat-layout store: flat entries are served and migrated into
+        shards as they are touched.
+    shard_width:
+        Fingerprint-prefix length used as the shard directory name.
+        The default ``2`` yields up to 256 shards (hex fingerprints),
+        which keeps per-directory entry counts small into the millions.
+    max_entries:
+        Optional cap on stored entries.  ``None`` (default) never
+        evicts; otherwise every :meth:`put` evicts least-recently-used
+        entries down to the cap.
+
+    Examples
+    --------
+    >>> store = ShardedRunStore(".runs", max_entries=10_000)  # doctest: +SKIP
+    >>> store.put(result)                                     # doctest: +SKIP
+    >>> store.get(result.spec).cached                         # doctest: +SKIP
+    False
+    """
+
+    _COUNTER_ATTRS = RunStore._COUNTER_ATTRS + ("evictions",
+                                                "migrations")
+
+    def __init__(
+        self,
+        root: str,
+        shard_width: int = 2,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if shard_width < 1:
+            raise ValueError("shard_width must be >= 1")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.shard_width = shard_width
+        self.max_entries = max_entries
+        self.evictions = 0
+        self.migrations = 0
+        super().__init__(root)
+        #: Recency order, least-recent first: fingerprint -> None.
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        self._seed_lru()
+
+    # -- layout --------------------------------------------------------
+
+    def _fingerprint(self, key: Union[str, ExperimentSpec]) -> str:
+        """The fingerprint string of a spec-or-fingerprint key."""
+        if isinstance(key, ExperimentSpec):
+            return key.fingerprint
+        return key
+
+    def path(self, key: Union[str, ExperimentSpec]) -> str:
+        """Sharded path of the stored run for a spec/fingerprint."""
+        fingerprint = self._fingerprint(key)
+        shard = fingerprint[:self.shard_width]
+        return os.path.join(self.root, shard,
+                            f"{fingerprint}.run.json")
+
+    def _flat_path(self, fingerprint: str) -> str:
+        """Legacy flat-layout path of one fingerprint."""
+        return os.path.join(self.root, f"{fingerprint}.run.json")
+
+    def __contains__(self, key: Union[str, ExperimentSpec]) -> bool:
+        """Whether a result is stored (sharded or legacy layout)."""
+        fingerprint = self._fingerprint(key)
+        return (os.path.exists(self.path(fingerprint))
+                or os.path.exists(self._flat_path(fingerprint)))
+
+    def _seed_lru(self) -> None:
+        """Adopt pre-existing entries in sorted-fingerprint order.
+
+        A fresh process has no usage history, so the deterministic
+        sorted scan *is* the recency order until lookups reorder it --
+        eviction decisions never depend on filesystem enumeration
+        order or timestamps.
+        """
+        if not os.path.isdir(self.root):
+            return
+        suffix = ".run.json"
+        found = []
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(suffix):
+                found.append(name[:-len(suffix)])
+                continue
+            shard_dir = os.path.join(self.root, name)
+            if len(name) == self.shard_width and os.path.isdir(shard_dir):
+                for entry in sorted(os.listdir(shard_dir)):
+                    if entry.endswith(suffix):
+                        found.append(entry[:-len(suffix)])
+        with self._lock:
+            for fingerprint in sorted(found):
+                self._lru[fingerprint] = None
+
+    # -- operations ----------------------------------------------------
+
+    def _promote(self, fingerprint: str) -> None:
+        """Migrate a legacy flat entry into its shard, if present."""
+        sharded = self.path(fingerprint)
+        flat = self._flat_path(fingerprint)
+        migrated = False
+        with self._lock:
+            if not os.path.exists(sharded) and os.path.exists(flat):
+                os.makedirs(os.path.dirname(sharded), exist_ok=True)
+                try:
+                    os.replace(flat, sharded)
+                    migrated = True
+                except OSError:
+                    pass
+        if migrated:
+            self._count("migrations")
+
+    def get(
+        self,
+        spec: ExperimentSpec,
+        key: Optional[str] = None,
+    ) -> Optional[RunResult]:
+        """The stored result (sharded or legacy flat layout), or None.
+
+        A hit refreshes the entry's recency; a flat-layout hit first
+        migrates the entry into its shard so the legacy directory
+        drains as it is used.  Miss/corruption semantics are inherited
+        from :class:`RunStore` (corrupt entries quarantine and read as
+        misses).
+        """
+        fingerprint = self._fingerprint(key if key is not None
+                                        else spec)
+        self._promote(fingerprint)
+        result = super().get(spec, key=fingerprint)
+        with self._lock:
+            if result is not None:
+                self._lru[fingerprint] = None
+                self._lru.move_to_end(fingerprint)
+            else:
+                self._lru.pop(fingerprint, None)
+        return result
+
+    def put(self, result: RunResult, key: Optional[str] = None) -> str:
+        """Store one result in its shard, then enforce the size cap."""
+        fingerprint = super().put(result, key=key)
+        evict = []
+        with self._lock:
+            self._lru[fingerprint] = None
+            self._lru.move_to_end(fingerprint)
+            if self.max_entries is not None:
+                while len(self._lru) > self.max_entries:
+                    victim, _ = self._lru.popitem(last=False)
+                    evict.append(victim)
+        for victim in evict:
+            for path in (self.path(victim), self._flat_path(victim)):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            self._count("evictions")
+        return fingerprint
+
+    def __len__(self) -> int:
+        """Number of entries the store currently tracks."""
+        with self._lock:
+            return len(self._lru)

@@ -1,0 +1,26 @@
+"""async-safety fixture: a coroutine reaching blocking calls.
+
+``handle`` blocks the event loop three ways, two of them hidden behind
+a helper chain: a direct ``time.sleep``, a raw ``open`` write, and a
+worker-pool ``imap`` dispatch.
+"""
+
+import time
+
+
+def _flush(path):
+    """Blocking file write (raw open)."""
+    with open(path, "w") as handle:
+        handle.write("x")
+
+
+def _work(path):
+    """Blocking helper: sleeps, then writes."""
+    time.sleep(0.1)
+    _flush(path)
+
+
+async def handle(path, pool):
+    """A coroutine that blocks the loop through its helpers."""
+    _work(path)
+    return list(pool.imap(_flush, [path]))

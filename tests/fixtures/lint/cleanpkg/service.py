@@ -1,0 +1,23 @@
+"""Event-loop-safe service idiom: blocking work rides the executor.
+
+The compliant counterpart to ``badpkg.asyncblock``: the coroutine only
+*references* the blocking helper, handing it to
+``loop.run_in_executor`` -- a function argument is not a call edge, so
+the async-safety walk (correctly) sees nothing to flag.
+"""
+
+import asyncio
+
+__all__ = ["fetch"]
+
+
+def _blocking_read(path):
+    """Blocking file read, only ever run on an executor thread."""
+    with open(path) as handle:
+        return handle.read()
+
+
+async def fetch(path):
+    """Read a file without ever blocking the event loop."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _blocking_read, path)

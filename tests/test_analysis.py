@@ -217,6 +217,50 @@ class TestSupervisionExceptions:
         assert report.findings == []
 
 
+class TestAsyncSafety:
+    def test_blocking_calls_reachable_from_coroutine_flagged(self):
+        report = lint_bad(
+            "async-safety",
+            paths=("badpkg/asyncblock.py",),
+            options={"async_modules": ["badpkg.asyncblock"]},
+        )
+        symbols = {f.symbol for f in report.findings}
+        assert symbols == {"handle<-time.sleep", "handle<-open()",
+                           "handle<-*.imap()"}
+        hidden = next(f for f in report.findings
+                      if f.symbol == "handle<-open()")
+        # The message spells out the coroutine -> helper route.
+        assert "handle -> _work -> _flush" in hidden.message
+        assert "run_in_executor" in hidden.message
+
+    def test_executor_route_is_exempt(self):
+        # cleanpkg.service hands the same blocking helper to
+        # loop.run_in_executor: a function argument is not a call
+        # edge, so nothing is reachable and nothing fires.
+        report = run_lint(
+            ["cleanpkg/service.py"], root=FIXTURES,
+            rules=["async-safety"],
+            options={"async_modules": ["cleanpkg.*"]},
+        )
+        assert report.findings == []
+
+    def test_out_of_scope_modules_are_quiet(self):
+        # Default scope is repro.serve*; fixture modules never match.
+        report = lint_bad("async-safety",
+                          paths=("badpkg/asyncblock.py",))
+        assert report.findings == []
+
+    def test_real_serve_layer_is_clean(self):
+        # Linted at full-tree scope (the CI gate's scope): method-name
+        # fallback edges need the whole tree in view -- scoping to
+        # serve/ alone would make every dict '.get' resolve to the one
+        # analyzed class defining 'get' (ShardedRunStore).
+        repo_root = FIXTURES.parents[2]
+        report = run_lint(["src/repro"], root=repo_root,
+                          rules=["async-safety"])
+        assert report.findings == []
+
+
 class TestBaseline:
     def test_suppresses_matching_findings(self):
         baseline = Baseline(["unseeded-rng:badpkg/rng.py:*"])
